@@ -1,0 +1,278 @@
+//! The fuzzing campaign driver (paper §VII-B).
+//!
+//! For each generated program: instrument with a ProtCC pass, find
+//! secret-mutation input pairs that are *contract-equivalent* (identical
+//! observer-mode traces under SEQ execution), run both inputs on the
+//! defended microarchitecture, and flag a **contract violation** when
+//! the adversary's observations differ. Candidate violations whose
+//! *committed* fingerprints differ are classified as false positives
+//! (the §VII-B1e post-processing filter).
+
+use crate::generator::{
+    self, GadgetTemplate, GenConfig, PUBLIC_BASE, PUBLIC_SIZE, SECRET_BASE, SECRET_SIZE,
+};
+use protean_arch::{ArchState, Emulator, ExitStatus, ObserverMode};
+use protean_cc::{compile_with, public_typing, Pass};
+use protean_isa::Program;
+use protean_sim::{Core, CoreConfig, DefensePolicy, SimResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which security contract to test against (paper §II-C, §VII-B1c).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ContractKind {
+    /// ARCH-SEQ: sequentially accessed data is public.
+    ArchSeq,
+    /// CT-SEQ: sequentially transmitted operands are public.
+    CtSeq,
+    /// CTS-SEQ: CT plus publicly-*typed* register values.
+    CtsSeq,
+    /// UNPROT-SEQ: CT plus ProtISA-unprotected register values.
+    UnprotSeq,
+}
+
+impl ContractKind {
+    /// Contract name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ContractKind::ArchSeq => "ARCH-SEQ",
+            ContractKind::CtSeq => "CT-SEQ",
+            ContractKind::CtsSeq => "CTS-SEQ",
+            ContractKind::UnprotSeq => "UNPROT-SEQ",
+        }
+    }
+
+    /// Builds the observer mode for a given (instrumented) binary.
+    pub fn observer(self, program: &Program) -> ObserverMode {
+        match self {
+            ContractKind::ArchSeq => ObserverMode::Arch,
+            ContractKind::CtSeq => ObserverMode::Ct,
+            ContractKind::CtsSeq => ObserverMode::Cts(public_typing(program)),
+            ContractKind::UnprotSeq => ObserverMode::Unprot,
+        }
+    }
+}
+
+/// The adversary model (paper §VII-B1d).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Adversary {
+    /// AMuLeT's default: data-cache (and TLB) tag state.
+    CacheTlb,
+    /// AMuLeT\*'s addition: the cycle at which each committed
+    /// instruction reaches each pipeline stage (surfaces SMT-grade
+    /// timing channels, e.g. the divider).
+    Timing,
+}
+
+impl Adversary {
+    /// Adversary name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Adversary::CacheTlb => "cache+TLB",
+            Adversary::Timing => "timing",
+        }
+    }
+
+    fn observe(self, result: &SimResult) -> Vec<u64> {
+        match self {
+            Adversary::CacheTlb => result.cache_obs.clone(),
+            Adversary::Timing => result.timing.iter().flatten().copied().collect(),
+        }
+    }
+}
+
+/// Fuzzing-campaign configuration.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Number of programs to generate.
+    pub programs: usize,
+    /// Secret mutations (input pairs) per program.
+    pub inputs_per_program: usize,
+    /// Generator settings (seed is advanced per program).
+    pub gen: GenConfig,
+    /// Instrumentation pass applied to every test binary.
+    pub pass: Pass,
+    /// The contract under test.
+    pub contract: ContractKind,
+    /// The adversary model.
+    pub adversary: Adversary,
+    /// Core configuration for the hardware runs.
+    pub core: CoreConfig,
+    /// Step/instruction budget per run.
+    pub max_steps: u64,
+    /// Stop the campaign at the first true-positive violation (as each
+    /// AMuLeT\* instance does).
+    pub stop_at_first: bool,
+    /// Restrict gadget segments to one template (targeted validation of
+    /// a single speculation primitive); `None` = the full mix.
+    pub only_template: Option<GadgetTemplate>,
+}
+
+impl FuzzConfig {
+    /// A small default campaign suitable for CI.
+    pub fn quick(pass: Pass, contract: ContractKind, adversary: Adversary) -> FuzzConfig {
+        FuzzConfig {
+            programs: 20,
+            inputs_per_program: 3,
+            gen: GenConfig::default(),
+            pass,
+            contract,
+            adversary,
+            core: CoreConfig::test_tiny(),
+            max_steps: 60_000,
+            stop_at_first: false,
+            only_template: None,
+        }
+    }
+}
+
+/// One detected contract violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Generator seed of the offending program.
+    pub program_seed: u64,
+    /// Which input pair triggered it.
+    pub input_index: usize,
+    /// Whether the post-processing filter classified it as a false
+    /// positive (committed fingerprints differ — sequential leakage).
+    pub false_positive: bool,
+}
+
+/// Campaign results (one row of the paper's Tab. II).
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Microarchitectural executions compared.
+    pub tests: u64,
+    /// Input pairs rejected as not contract-equivalent.
+    pub pairs_rejected: u64,
+    /// True-positive violations.
+    pub violations: u64,
+    /// Filtered false positives.
+    pub false_positives: u64,
+    /// Example violations (up to 8).
+    pub examples: Vec<Violation>,
+}
+
+/// Runs a fuzzing campaign against `policy_factory`'s defense.
+///
+/// # Examples
+///
+/// ```
+/// use protean_amulet::{fuzz, Adversary, ContractKind, FuzzConfig};
+/// use protean_cc::Pass;
+/// use protean_sim::UnsafePolicy;
+///
+/// let mut cfg = FuzzConfig::quick(Pass::Arch, ContractKind::ArchSeq, Adversary::CacheTlb);
+/// cfg.programs = 2;
+/// cfg.stop_at_first = true;
+/// let report = fuzz(&cfg, &|| Box::new(UnsafePolicy));
+/// assert!(report.tests > 0);
+/// ```
+pub fn fuzz(cfg: &FuzzConfig, policy_factory: &dyn Fn() -> Box<dyn DefensePolicy>) -> Report {
+    let mut report = Report::default();
+    for p in 0..cfg.programs {
+        let seed = cfg.gen.seed.wrapping_add(p as u64);
+        let gen_cfg = GenConfig {
+            seed,
+            ..cfg.gen.clone()
+        };
+        let raw = match cfg.only_template {
+            Some(t) => generator::generate_with_template(&gen_cfg, t),
+            None => generator::generate(&gen_cfg),
+        };
+        let program = compile_with(&raw, cfg.pass).program;
+        let observer = cfg.contract.observer(&program);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+
+        // The base input.
+        let base = make_input(&mut rng);
+        let Some(base_trace) = seq_trace(&program, &base, &observer, cfg.max_steps) else {
+            continue; // non-terminating or bad control flow: skip program
+        };
+        let base_hw = run_hw(&program, &base, cfg, policy_factory());
+
+        for i in 0..cfg.inputs_per_program {
+            // Mutate secrets only.
+            let mut mutant = base.clone();
+            randomize_secrets(&mut mutant, &mut rng);
+            let Some(mutant_trace) = seq_trace(&program, &mutant, &observer, cfg.max_steps) else {
+                continue;
+            };
+            if mutant_trace != base_trace {
+                // Not contract-equivalent: the difference is permitted.
+                report.pairs_rejected += 1;
+                continue;
+            }
+            let mutant_hw = run_hw(&program, &mutant, cfg, policy_factory());
+            report.tests += 2;
+            let obs_a = cfg.adversary.observe(&base_hw);
+            let obs_b = cfg.adversary.observe(&mutant_hw);
+            if obs_a != obs_b {
+                // Candidate violation; apply the false-positive filter.
+                let fp = base_hw.committed_idxs != mutant_hw.committed_idxs;
+                if fp {
+                    report.false_positives += 1;
+                } else {
+                    report.violations += 1;
+                }
+                if report.examples.len() < 8 {
+                    report.examples.push(Violation {
+                        program_seed: seed,
+                        input_index: i,
+                        false_positive: fp,
+                    });
+                }
+                if !fp && cfg.stop_at_first {
+                    return report;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Builds a base input: cold chain, public data, registers, secrets.
+fn make_input(rng: &mut StdRng) -> ArchState {
+    let mut state = ArchState::new();
+    generator::init_cold_chain(&mut state.mem);
+    for i in 0..PUBLIC_SIZE / 8 {
+        // Small public values (they index the probe region safely).
+        state
+            .mem
+            .write(PUBLIC_BASE + i * 8, 8, rng.gen_range(0..64));
+    }
+    randomize_secrets(&mut state, rng);
+    for i in 0..6 {
+        state.set_reg(protean_isa::Reg::gpr(i), rng.gen_range(0..1024));
+    }
+    state
+}
+
+fn randomize_secrets(state: &mut ArchState, rng: &mut StdRng) {
+    for i in 0..SECRET_SIZE / 8 {
+        state.mem.write(SECRET_BASE + i * 8, 8, rng.gen::<u64>());
+    }
+}
+
+/// Sequential (contract) trace; `None` if the program misbehaves.
+fn seq_trace(
+    program: &Program,
+    input: &ArchState,
+    observer: &ObserverMode,
+    max_steps: u64,
+) -> Option<Vec<protean_arch::Obs>> {
+    let mut emu = Emulator::new(program, input.clone());
+    let (status, records) = emu.run(max_steps);
+    (status == ExitStatus::Halted).then(|| observer.trace(&records))
+}
+
+fn run_hw(
+    program: &Program,
+    input: &ArchState,
+    cfg: &FuzzConfig,
+    policy: Box<dyn DefensePolicy>,
+) -> SimResult {
+    let mut core = Core::new(program, cfg.core.clone(), policy, input);
+    core.record_traces(true);
+    core.run(cfg.max_steps, cfg.max_steps * 60)
+}

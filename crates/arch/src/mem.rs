@@ -1,0 +1,156 @@
+//! Sparse byte-addressable memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A sparse, zero-initialized, byte-addressable 64-bit memory.
+///
+/// Pages are allocated lazily; reads of unmapped memory return zero
+/// (matching the fuzzing harness's architectural-fault suppression — no
+/// access ever faults).
+///
+/// # Examples
+///
+/// ```
+/// use protean_arch::Memory;
+///
+/// let mut mem = Memory::new();
+/// mem.write(0x1000, 8, 0xdead_beef);
+/// assert_eq!(mem.read(0x1000, 8), 0xdead_beef);
+/// assert_eq!(mem.read(0x1004, 4), 0); // upper half
+/// assert_eq!(mem.read(0x9999, 8), 0); // unmapped reads as zero
+/// ```
+#[derive(Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads `size` bytes (1–8) little-endian, zero-extended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not in `1..=8`.
+    pub fn read(&self, addr: u64, size: u64) -> u64 {
+        assert!((1..=8).contains(&size), "bad access size {size}");
+        let mut value = 0u64;
+        for i in 0..size {
+            value |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        value
+    }
+
+    /// Writes the low `size` bytes (1–8) of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not in `1..=8`.
+    pub fn write(&mut self, addr: u64, size: u64, value: u64) {
+        assert!((1..=8).contains(&size), "bad access size {size}");
+        for i in 0..size {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies a byte slice into memory at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u64)))
+            .collect()
+    }
+
+    /// Number of mapped pages (for diagnostics).
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory")
+            .field("mapped_pages", &self.pages.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let mut m = Memory::new();
+        m.write(0x100, 8, 0x0807060504030201);
+        assert_eq!(m.read_u8(0x100), 0x01);
+        assert_eq!(m.read_u8(0x107), 0x08);
+        assert_eq!(m.read(0x102, 2), 0x0403);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = 0x1ffc; // last 4 bytes of a page
+        m.write(addr, 8, 0x1122334455667788);
+        assert_eq!(m.read(addr, 8), 0x1122334455667788);
+        assert!(m.mapped_pages() >= 2);
+    }
+
+    #[test]
+    fn unmapped_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read(0xdead_beef, 8), 0);
+    }
+
+    #[test]
+    fn partial_write_preserves_neighbors() {
+        let mut m = Memory::new();
+        m.write(0x10, 8, u64::MAX);
+        m.write(0x12, 2, 0);
+        assert_eq!(m.read(0x10, 8), 0xffff_ffff_0000_ffff);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad access size")]
+    fn oversized_access_panics() {
+        Memory::new().read(0, 9);
+    }
+
+    #[test]
+    fn bytes_interface() {
+        let mut m = Memory::new();
+        m.write_bytes(0x200, &[1, 2, 3]);
+        assert_eq!(m.read_bytes(0x200, 4), vec![1, 2, 3, 0]);
+    }
+}

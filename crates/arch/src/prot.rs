@@ -1,0 +1,158 @@
+//! The architectural ProtISA protection set (ProtSet).
+//!
+//! This is the *reference* (precise) model of the ProtSet semantics from
+//! paper §IV: registers and memory bytes start protected; `PROT`-prefixed
+//! instructions protect their outputs; unprefixed instructions unprotect
+//! their outputs and any memory bytes they read; stores propagate the
+//! protection of their data operand to the written bytes.
+//!
+//! Hardware (the protection-tagged LSQ/L1D of §IV-C) tracks a conservative
+//! *superset*: it forgets unprotection on cache eviction. Tests in
+//! `protean-core` check that hardware-tracked protection is always a
+//! superset of this reference.
+
+use protean_isa::{Reg, RegSet, Width};
+use std::collections::HashSet;
+
+/// The architectural ProtSet: per-register protection bits plus a sparse
+/// set of *unprotected* memory bytes (memory defaults to protected).
+///
+/// # Examples
+///
+/// ```
+/// use protean_arch::ProtState;
+/// use protean_isa::{Reg, Width};
+///
+/// let mut p = ProtState::new();
+/// assert!(p.reg_protected(Reg::R0)); // everything starts protected
+/// p.write_reg(Reg::R0, Width::W64, false); // unprefixed full write
+/// assert!(!p.reg_protected(Reg::R0));
+/// p.write_reg(Reg::R0, Width::W8, true); // PROT-prefixed partial write
+/// assert!(p.reg_protected(Reg::R0)); // protects the full register
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProtState {
+    reg_prot: [bool; Reg::COUNT],
+    /// Memory bytes known to be unprotected. Everything else is
+    /// protected.
+    unprot_bytes: HashSet<u64>,
+}
+
+impl ProtState {
+    /// Creates the initial ProtSet: all registers and memory protected.
+    pub fn new() -> ProtState {
+        ProtState {
+            reg_prot: [true; Reg::COUNT],
+            unprot_bytes: HashSet::new(),
+        }
+    }
+
+    /// Whether a register is currently protected.
+    pub fn reg_protected(&self, reg: Reg) -> bool {
+        self.reg_prot[reg.index()]
+    }
+
+    /// The set of currently protected registers.
+    pub fn protected_regs(&self) -> RegSet {
+        Reg::all().filter(|r| self.reg_protected(*r)).collect()
+    }
+
+    /// Applies a register write's protection update (paper §IV-B1):
+    /// `PROT`-prefixed writes protect the full register; unprefixed
+    /// full-width writes unprotect it; unprefixed *partial* writes leave
+    /// protection unchanged.
+    pub fn write_reg(&mut self, reg: Reg, width: Width, prot: bool) {
+        if prot {
+            self.reg_prot[reg.index()] = true;
+        } else if !width.is_partial() {
+            self.reg_prot[reg.index()] = false;
+        }
+    }
+
+    /// Forces a register's protection bit (used by tests and by the
+    /// hardware model's commit path).
+    pub fn set_reg(&mut self, reg: Reg, prot: bool) {
+        self.reg_prot[reg.index()] = prot;
+    }
+
+    /// Whether *any* byte of `[addr, addr+size)` is protected.
+    pub fn mem_protected(&self, addr: u64, size: u64) -> bool {
+        (0..size).any(|i| !self.unprot_bytes.contains(&addr.wrapping_add(i)))
+    }
+
+    /// Marks memory bytes unprotected (an unprefixed load's read, §IV-B4).
+    pub fn unprotect_mem(&mut self, addr: u64, size: u64) {
+        for i in 0..size {
+            self.unprot_bytes.insert(addr.wrapping_add(i));
+        }
+    }
+
+    /// Sets memory bytes' protection to `prot` (a store write, §IV-B2).
+    pub fn set_mem(&mut self, addr: u64, size: u64, prot: bool) {
+        for i in 0..size {
+            let a = addr.wrapping_add(i);
+            if prot {
+                self.unprot_bytes.remove(&a);
+            } else {
+                self.unprot_bytes.insert(a);
+            }
+        }
+    }
+
+    /// Number of bytes currently known unprotected (diagnostics).
+    pub fn unprotected_byte_count(&self) -> usize {
+        self.unprot_bytes.len()
+    }
+}
+
+impl Default for ProtState {
+    fn default() -> ProtState {
+        ProtState::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_all_protected() {
+        let p = ProtState::new();
+        assert_eq!(p.protected_regs(), RegSet::all());
+        assert!(p.mem_protected(0x1234, 1));
+    }
+
+    #[test]
+    fn partial_writes_conservative() {
+        let mut p = ProtState::new();
+        // Unprefixed partial write: unchanged (stays protected).
+        p.write_reg(Reg::R1, Width::W16, false);
+        assert!(p.reg_protected(Reg::R1));
+        // Unprefixed 32-bit write zero-extends: a full-register update.
+        p.write_reg(Reg::R1, Width::W32, false);
+        assert!(!p.reg_protected(Reg::R1));
+        // Once unprotected, unprefixed partial writes keep it so.
+        p.write_reg(Reg::R1, Width::W8, false);
+        assert!(!p.reg_protected(Reg::R1));
+    }
+
+    #[test]
+    fn mem_protection_byte_granular() {
+        let mut p = ProtState::new();
+        p.set_mem(0x100, 8, false);
+        assert!(!p.mem_protected(0x100, 8));
+        assert!(p.mem_protected(0x0ff, 2)); // straddles a protected byte
+        assert!(p.mem_protected(0x107, 2));
+        p.set_mem(0x104, 2, true); // re-protect the middle
+        assert!(p.mem_protected(0x100, 8));
+        assert!(!p.mem_protected(0x100, 4));
+    }
+
+    #[test]
+    fn unprotect_tracks_count() {
+        let mut p = ProtState::new();
+        p.unprotect_mem(0x0, 8);
+        p.unprotect_mem(0x4, 8); // overlaps
+        assert_eq!(p.unprotected_byte_count(), 12);
+    }
+}

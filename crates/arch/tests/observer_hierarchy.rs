@@ -1,0 +1,121 @@
+//! The observer-mode hierarchy (paper §II-C): exposure strictly
+//! increases up the class hierarchy, so contract *equivalence* is
+//! increasingly hard to satisfy. Concretely, for any program and input
+//! pair:
+//!
+//! * equal ARCH traces   ⇒ equal CT traces (ARCH exposes a superset);
+//! * equal UNPROT traces ⇒ equal CT traces;
+//! * equal CTS traces    ⇒ equal CT traces.
+//!
+//! Checked over randomized straight-line/branchy programs and inputs.
+
+use protean_arch::{ArchState, Emulator, ExecRecord, ExitStatus, ObserverMode, PublicTyping};
+use protean_isa::{assemble, Program, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_program(seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut src = String::from("mov rsp, 0x8000\n");
+    for i in 0..rng.gen_range(5..25) {
+        match rng.gen_range(0..6) {
+            0 => src.push_str(&format!(
+                "add r{}, r{}, {}\n",
+                rng.gen_range(0..6),
+                rng.gen_range(0..6),
+                rng.gen_range(0..100)
+            )),
+            1 => src.push_str(&format!(
+                "and r7, r{}, 0xf8\nload r{}, [0x2000 + r7*1]\n",
+                rng.gen_range(0..6),
+                rng.gen_range(0..6)
+            )),
+            2 => src.push_str(&format!(
+                "and r7, r{}, 0xf8\nstore [0x3000 + r7*1], r{}\n",
+                rng.gen_range(0..6),
+                rng.gen_range(0..6)
+            )),
+            3 => src.push_str(&format!(
+                "cmp r{}, {}\njlt skip{i}\nadd r0, r0, 1\nskip{i}: nop\n",
+                rng.gen_range(0..6),
+                rng.gen_range(0..64)
+            )),
+            4 => src.push_str(&format!(
+                "xor r{}, r{}, r{}\n",
+                rng.gen_range(0..6),
+                rng.gen_range(0..6),
+                rng.gen_range(0..6)
+            )),
+            _ => src.push_str(&format!(
+                "mul r{}, r{}, 3\n",
+                rng.gen_range(0..6),
+                rng.gen_range(0..6)
+            )),
+        }
+    }
+    src.push_str("halt\n");
+    assemble(&src).expect("random program assembles")
+}
+
+fn records(program: &Program, seed: u64) -> Vec<ExecRecord> {
+    let mut state = ArchState::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..6 {
+        state.set_reg(Reg::gpr(i), rng.gen_range(0..256));
+    }
+    for k in 0..64u64 {
+        state.mem.write(0x2000 + k * 8, 8, rng.gen());
+    }
+    let mut emu = Emulator::new(program, state);
+    let (status, recs) = emu.run(10_000);
+    assert_eq!(status, ExitStatus::Halted);
+    recs
+}
+
+#[test]
+fn stronger_observers_refine_ct() {
+    for seed in 0..30u64 {
+        let program = random_program(seed);
+        let a = records(&program, 1000 + seed);
+        let b = records(&program, 2000 + seed);
+        let ct = ObserverMode::Ct;
+        let modes: Vec<ObserverMode> = vec![
+            ObserverMode::Arch,
+            ObserverMode::Unprot,
+            ObserverMode::Cts(PublicTyping::all_secret(program.len())),
+        ];
+        for strong in modes {
+            if strong.trace(&a) == strong.trace(&b) {
+                assert_eq!(
+                    ct.trace(&a),
+                    ct.trace(&b),
+                    "seed {seed}: {}-equal but CT-distinguishable",
+                    strong.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_is_deterministic() {
+    for seed in 0..10u64 {
+        let program = random_program(seed);
+        let a = records(&program, seed);
+        let b = records(&program, seed);
+        for mode in [ObserverMode::Arch, ObserverMode::Ct, ObserverMode::Unprot] {
+            assert_eq!(mode.trace(&a), mode.trace(&b));
+        }
+    }
+}
+
+#[test]
+fn all_secret_cts_equals_ct() {
+    // With an all-secret typing, CTS exposes nothing beyond CT.
+    for seed in 0..10u64 {
+        let program = random_program(seed);
+        let recs = records(&program, seed);
+        let cts = ObserverMode::Cts(PublicTyping::all_secret(program.len()));
+        assert_eq!(cts.trace(&recs), ObserverMode::Ct.trace(&recs));
+    }
+}

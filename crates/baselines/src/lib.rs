@@ -1,0 +1,47 @@
+//! # protean-baselines
+//!
+//! The state-of-the-art comprehensive, programmer-transparent Spectre
+//! defenses that *"Protean: A Programmable Spectre Defense"* (HPCA 2026)
+//! evaluates against, each implemented as a
+//! [`DefensePolicy`](protean_sim::DefensePolicy) for the `protean-sim`
+//! out-of-order core:
+//!
+//! | Defense | ProtSet (hardware-defined) | Mechanism | Targets |
+//! |---------|---------------------------|-----------|---------|
+//! | [`AccessDelayPolicy`] (NDA/SpecShield) | all memory | AccessDelay | ARCH |
+//! | [`SttPolicy`] (STT) | all memory | AccessTrack | ARCH |
+//! | [`SptPolicy`] (SPT) | untransmitted state | AccessTrack† | CT |
+//! | [`SptSbPolicy`] (SPT-SB) | all state | XmitDelay | UNR |
+//!
+//! Each policy has a `fixed()` constructor (the fully patched version the
+//! paper benchmarks, with division transmitters and the pending-squash
+//! fix) and an `original()` constructor reproducing the pre-fix artifacts
+//! that AMuLeT\* finds contract violations in (§VII-B4).
+//!
+//! # Example
+//!
+//! ```
+//! use protean_arch::ArchState;
+//! use protean_baselines::SttPolicy;
+//! use protean_isa::assemble;
+//! use protean_sim::{Core, CoreConfig};
+//!
+//! let prog = assemble("load r1, [r0]\nload r2, [r1]\nhalt\n").unwrap();
+//! let core = Core::new(&prog, CoreConfig::test_tiny(), Box::new(SttPolicy::fixed()),
+//!                      &ArchState::new());
+//! let r = core.run(1_000, 100_000);
+//! assert_eq!(r.exit, protean_sim::SimExit::Halted);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod access_delay;
+mod spt;
+mod sptsb;
+mod stt;
+
+pub use access_delay::AccessDelayPolicy;
+pub use spt::SptPolicy;
+pub use sptsb::SptSbPolicy;
+pub use stt::SttPolicy;

@@ -1,0 +1,120 @@
+//! STT: Speculative Taint Tracking (paper §VI-A2, [148]).
+//!
+//! The AccessTrack mechanism under a hardware-defined all-memory ProtSet:
+//! every speculative load roots taint on its output; taint propagates
+//! through register dependencies at rename; a transmitter with a tainted
+//! sensitive operand may not execute (loads/stores/divisions) or resolve
+//! (branches) until its *youngest root of taint* (YRoT) becomes
+//! non-speculative, at which point the data is architecturally accessed
+//! and — under STT's ARCH-SEQ contract — fair game.
+
+use protean_isa::TransmitterSet;
+use protean_sim::{sensitive_root_tainted, DefensePolicy, DynInst, RegTags, SpecFrontier};
+
+/// The STT policy.
+///
+/// `buggy_squash` reproduces the pending-squash bug the paper found in
+/// STT's gem5 implementation and fixed upstream (§VII-B4b);
+/// `TransmitterSet::legacy()` reproduces the pre-fix defense that did not
+/// treat division µops as transmitters.
+///
+/// # Examples
+///
+/// ```
+/// use protean_baselines::SttPolicy;
+/// use protean_sim::DefensePolicy;
+///
+/// let stt = SttPolicy::fixed();
+/// assert!(stt.transmitters().divs);
+/// assert!(!SttPolicy::original().transmitters().divs);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SttPolicy {
+    xmit: TransmitterSet,
+    buggy_squash: bool,
+}
+
+impl SttPolicy {
+    /// The fully fixed STT evaluated in the paper's Tab. IV/V: division
+    /// transmitters handled, pending-squash bug patched.
+    pub fn fixed() -> SttPolicy {
+        SttPolicy {
+            // STT assumes loads and branches transmit; the fixed version
+            // adds division µops (§VII-B3). It does not stall stores.
+            xmit: TransmitterSet {
+                loads: true,
+                stores: false,
+                branches: true,
+                divs: true,
+            },
+            buggy_squash: false,
+        }
+    }
+
+    /// The original artifact: no division transmitters, pending-squash
+    /// bug present — the configuration AMuLeT\* finds 9 violations in.
+    pub fn original() -> SttPolicy {
+        SttPolicy {
+            xmit: TransmitterSet {
+                loads: true,
+                stores: false,
+                branches: true,
+                divs: false,
+            },
+            buggy_squash: true,
+        }
+    }
+}
+
+impl DefensePolicy for SttPolicy {
+    fn name(&self) -> String {
+        if self.buggy_squash {
+            "STT (original)".into()
+        } else {
+            "STT".into()
+        }
+    }
+
+    fn transmitters(&self) -> TransmitterSet {
+        self.xmit
+    }
+
+    fn pending_squash_bug(&self) -> bool {
+        self.buggy_squash
+    }
+
+    fn on_rename(&mut self, u: &mut DynInst, tags: &mut RegTags) {
+        protean_sim::propagate_tags(u, tags);
+        // Loads root taint: their output depends on speculatively
+        // accessed memory.
+        if u.is_load() {
+            let yrot = u.in_yrot.max(u.seq);
+            for d in &u.dsts {
+                tags.yrot[d.new_phys] = yrot;
+            }
+        }
+    }
+
+    fn may_execute(&self, u: &DynInst, tags: &RegTags, fr: &SpecFrontier) -> bool {
+        if u.inst.is_branch() {
+            return true; // branches execute; their *resolution* is gated
+        }
+        if !self.xmit.is_transmitter(&u.inst) {
+            return true;
+        }
+        fr.is_non_speculative(u.seq) || !sensitive_root_tainted(u, &self.xmit, tags, fr)
+    }
+
+    fn may_resolve(&self, u: &DynInst, tags: &RegTags, fr: &SpecFrontier) -> bool {
+        if fr.is_non_speculative(u.seq) {
+            return true;
+        }
+        // A squash transmits the branch predicate / target.
+        if sensitive_root_tainted(u, &self.xmit, tags, fr) {
+            return false;
+        }
+        // `ret` transmits its speculatively *loaded* target, which is
+        // tainted by the ret's own load (rooted at itself).
+        !u.is_load()
+    }
+}

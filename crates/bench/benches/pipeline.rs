@@ -1,0 +1,126 @@
+//! Criterion microbenchmarks of the simulator substrate itself:
+//! pipeline throughput under each defense, branch predictor, cache, and
+//! access-predictor operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protean_arch::ArchState;
+use protean_baselines::{SptPolicy, SptSbPolicy, SttPolicy};
+use protean_cc::{compile_with, Pass};
+use protean_core::{AccessPredictor, ProtDelayPolicy, ProtTrackPolicy};
+use protean_isa::{assemble, Program};
+use protean_sim::{
+    Btb, Cache, CacheConfig, Core, CoreConfig, DefensePolicy, TagePredictor, UnsafePolicy,
+};
+
+fn kernel() -> (Program, ArchState) {
+    let prog = assemble(
+        r#"
+          mov r0, 0x10000
+          mov r1, 0
+        loop:
+          and r2, r1, 0x1ff8
+          load r3, [r0 + r2]
+          mul r4, r3, 3
+          add r5, r5, r4
+          cmp r3, 500
+          jlt skip
+          xor r5, r5, r1
+        skip:
+          add r1, r1, 8
+          cmp r1, 40000
+          jlt loop
+          halt
+        "#,
+    )
+    .unwrap();
+    let mut init = ArchState::new();
+    for i in 0..0x400u64 {
+        init.mem.write(0x10000 + i * 8, 8, i * 7 % 1000);
+    }
+    (prog, init)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (prog, init) = kernel();
+    let mut group = c.benchmark_group("pipeline_50k_uops");
+    group.sample_size(10);
+    let defenses: Vec<(&str, fn() -> Box<dyn DefensePolicy>)> = vec![
+        ("unsafe", || Box::new(UnsafePolicy)),
+        ("stt", || Box::new(SttPolicy::fixed())),
+        ("spt", || Box::new(SptPolicy::fixed())),
+        ("spt-sb", || Box::new(SptSbPolicy::fixed())),
+        ("prot-delay", || Box::new(ProtDelayPolicy::new())),
+        ("prot-track", || Box::new(ProtTrackPolicy::new())),
+    ];
+    for (name, make) in defenses {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let core = Core::new(&prog, CoreConfig::p_core(), make(), &init);
+                core.run(1_000_000, 60_000_000)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_protcc(c: &mut Criterion) {
+    let (prog, _) = kernel();
+    let mut group = c.benchmark_group("protcc_compile");
+    for pass in [Pass::Cts, Pass::Ct, Pass::Unr] {
+        group.bench_function(BenchmarkId::from_parameter(pass.name()), |b| {
+            b.iter(|| compile_with(&prog, pass))
+        });
+    }
+    group.finish();
+}
+
+fn bench_structures(c: &mut Criterion) {
+    c.bench_function("tage_predict_update", |b| {
+        let mut p = TagePredictor::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let pc = 0x400000 + (i % 64) * 8;
+            let pred = p.predict(pc);
+            p.update(pc, pred, i % 3 == 0);
+            i += 1;
+        })
+    });
+    c.bench_function("btb_lookup", |b| {
+        let mut btb = Btb::new(4096);
+        for i in 0..512u64 {
+            btb.update(0x400000 + i * 4, i);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            btb.lookup(0x400000 + (i % 512) * 4)
+        })
+    });
+    c.bench_function("l1d_access", |b| {
+        let cfg = CacheConfig {
+            size_bytes: 48 * 1024,
+            ways: 12,
+            line_bytes: 64,
+            latency: 5,
+        };
+        let mut cache = Cache::new(cfg, true);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x40);
+            cache.access(i % (1 << 20))
+        })
+    });
+    c.bench_function("access_predictor", |b| {
+        let mut p = AccessPredictor::new(1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let pc = 0x400000 + (i % 200) * 4;
+            let pred = p.predict_access(pc);
+            p.update(pc, !pred);
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipeline, bench_protcc, bench_structures);
+criterion_main!(benches);

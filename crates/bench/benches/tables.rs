@@ -1,0 +1,45 @@
+//! Criterion wrappers around the table-generation harness: one
+//! representative workload per paper table, timed end to end (the same
+//! subset the artifact's `--bench` quick mode uses, §A-F1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protean_bench::{binary_for, run_workload, Binary, Defense};
+use protean_sim::CoreConfig;
+use protean_workloads::{arch_wasm, ct_crypto, cts_crypto, nginx, unr_crypto, Scale};
+
+fn bench_table_v_rows(c: &mut Criterion) {
+    let core = CoreConfig::p_core();
+    let mut group = c.benchmark_group("table_v_row");
+    group.sample_size(10);
+    // The shortest-host-runtime benchmark of each suite, as in §A-F1.
+    let rows: Vec<(&str, protean_workloads::Workload, Defense)> = vec![
+        ("lmb/STT", arch_wasm(Scale(1)).remove(5), Defense::Stt),
+        ("poly1305/SPT", cts_crypto(Scale(1)).remove(2), Defense::Spt),
+        ("bearssl/SPT", ct_crypto(Scale(1)).remove(0), Defense::Spt),
+        (
+            "bnexp/SPT-SB",
+            unr_crypto(Scale(1)).remove(0),
+            Defense::SptSb,
+        ),
+        ("nginx.c1r1/SPT-SB", nginx(1, 1, Scale(1)), Defense::SptSb),
+    ];
+    for (name, w, baseline) in rows {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let base = run_workload(&w, &core, Defense::Unsafe, Binary::Base);
+                let bl = run_workload(&w, &core, baseline, Binary::Base);
+                let track = run_workload(
+                    &w,
+                    &core,
+                    Defense::ProtTrack,
+                    binary_for(Defense::ProtTrack, w.class),
+                );
+                (base.cycles, bl.cycles, track.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_v_rows);
+criterion_main!(benches);

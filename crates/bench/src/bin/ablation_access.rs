@@ -1,0 +1,44 @@
+//! §IX-A4: raw AccessDelay/AccessTrack applied directly to ProtISA
+//! (ProtDelay's selective wakeup and ProtTrack's access predictor
+//! disabled) versus the full mechanisms, on SPEC2017int (P-core),
+//! averaged across ProtCC-ARCH and ProtCC-CT binaries.
+
+use protean_bench::{geomean, run_workload, Binary, Defense, TablePrinter};
+use protean_cc::Pass;
+use protean_sim::CoreConfig;
+use protean_workloads::{spec2017_int, Scale};
+
+fn main() {
+    let (quick, scale) = protean_bench::parse_flags();
+    let mut ws = spec2017_int(Scale(scale));
+    if quick {
+        ws.truncate(3);
+    }
+    let core = CoreConfig::p_core();
+    let t = TablePrinter::new(&[24, 14, 14]);
+    println!("Ablation (IX-A4): raw access-based mechanisms under ProtISA");
+    t.row(&[
+        "mechanism".into(),
+        "ARCH overhead".into(),
+        "CT overhead".into(),
+    ]);
+    t.sep();
+    for (label, d) in [
+        ("ProtDelay", Defense::ProtDelay),
+        ("raw AccessDelay", Defense::RawAccessDelay),
+        ("ProtTrack", Defense::ProtTrack),
+        ("raw AccessTrack", Defense::RawAccessTrack),
+    ] {
+        let mut cols = Vec::new();
+        for pass in [Pass::Arch, Pass::Ct] {
+            let mut norms = Vec::new();
+            for w in &ws {
+                let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
+                let c = run_workload(w, &core, d, Binary::SingleClass(pass)).cycles as f64;
+                norms.push(c / base);
+            }
+            cols.push(format!("{:+.1}%", (geomean(&norms) - 1.0) * 100.0));
+        }
+        t.row(&[label.into(), cols[0].clone(), cols[1].clone()]);
+    }
+}

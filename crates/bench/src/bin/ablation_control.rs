@@ -1,0 +1,48 @@
+//! §IX-A6: the noncomprehensive CONTROL speculation model case study —
+//! PROTEAN-Track-ARCH/-CT versus STT/SPT on SPEC2017int (P-core) with
+//! instructions considered speculative only until prior branches resolve.
+
+use protean_bench::{geomean, run_workload, Binary, Defense, TablePrinter};
+use protean_cc::Pass;
+use protean_sim::{CoreConfig, SpeculationModel};
+use protean_workloads::{spec2017_int, Scale};
+
+fn main() {
+    let (quick, scale) = protean_bench::parse_flags();
+    let mut ws = spec2017_int(Scale(scale));
+    if quick {
+        ws.truncate(3);
+    }
+    let mut core = CoreConfig::p_core();
+    core.speculation = SpeculationModel::Control;
+    let t = TablePrinter::new(&[16, 14]);
+    println!("Ablation (IX-A6): CONTROL speculation model, SPEC2017int P-core");
+    println!("(note: CONTROL misses memory-order speculation — footnote 1)");
+    t.row(&["config".into(), "overhead".into()]);
+    t.sep();
+    let configs: Vec<(&str, Defense, Binary)> = vec![
+        ("STT", Defense::Stt, Binary::Base),
+        (
+            "Track-ARCH",
+            Defense::ProtTrack,
+            Binary::SingleClass(Pass::Arch),
+        ),
+        ("SPT", Defense::Spt, Binary::Base),
+        (
+            "Track-CT",
+            Defense::ProtTrack,
+            Binary::SingleClass(Pass::Ct),
+        ),
+    ];
+    for (label, d, binary) in configs {
+        let mut norms = Vec::new();
+        for w in &ws {
+            let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
+            norms.push(run_workload(w, &core, d, binary).cycles as f64 / base);
+        }
+        t.row(&[
+            label.into(),
+            format!("{:+.1}%", (geomean(&norms) - 1.0) * 100.0),
+        ]);
+    }
+}

@@ -1,0 +1,39 @@
+//! §IX-A7: the performance cost of the paper's security fixes to the
+//! secure baselines (division transmitters + pending-squash fix), and of
+//! SPT's 32-bit untaint performance fix, on SPEC2017int (P-core).
+
+use protean_bench::{geomean, run_workload, Binary, Defense, TablePrinter};
+use protean_sim::CoreConfig;
+use protean_workloads::{spec2017_int, Scale};
+
+fn main() {
+    let (quick, scale) = protean_bench::parse_flags();
+    let mut ws = spec2017_int(Scale(scale));
+    if quick {
+        ws.truncate(3);
+    }
+    let core = CoreConfig::p_core();
+    let t = TablePrinter::new(&[24, 12]);
+    println!("Ablation (IX-A7): secure-baseline bug-fix overhead, SPEC2017int P-core");
+    t.row(&["config".into(), "overhead".into()]);
+    t.sep();
+    for (label, d) in [
+        ("STT original", Defense::SttOriginal),
+        ("STT fixed", Defense::Stt),
+        ("SPT original", Defense::SptOriginal),
+        ("SPT fixed, no perf fix", Defense::SptNoPerfFix),
+        ("SPT fixed", Defense::Spt),
+        ("SPT-SB original", Defense::SptSbOriginal),
+        ("SPT-SB fixed", Defense::SptSb),
+    ] {
+        let mut norms = Vec::new();
+        for w in &ws {
+            let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
+            norms.push(run_workload(w, &core, d, Binary::Base).cycles as f64 / base);
+        }
+        t.row(&[
+            label.into(),
+            format!("{:+.1}%", (geomean(&norms) - 1.0) * 100.0),
+        ]);
+    }
+}

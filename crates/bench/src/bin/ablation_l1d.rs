@@ -1,0 +1,44 @@
+//! §IX-A3: protection-tagged L1D variants — no memory tracking (all
+//! memory protected) vs the paper's tagged L1D vs an idealized perfect
+//! shadow memory, for PROTEAN-Track-ARCH/-CT on SPEC2017int (P-core).
+
+use protean_bench::{geomean, run_workload, Binary, Defense, TablePrinter};
+use protean_cc::Pass;
+use protean_sim::{CoreConfig, MemProtTracking};
+use protean_workloads::{spec2017_int, Scale};
+
+fn main() {
+    let (quick, scale) = protean_bench::parse_flags();
+    let mut ws = spec2017_int(Scale(scale));
+    if quick {
+        ws.truncate(3);
+    }
+    let t = TablePrinter::new(&[16, 14, 14]);
+    println!("Ablation (IX-A3): ProtISA memory-protection tracking variants (Track)");
+    t.row(&[
+        "variant".into(),
+        "ARCH overhead".into(),
+        "CT overhead".into(),
+    ]);
+    t.sep();
+    for (label, mode) in [
+        ("disabled", MemProtTracking::None),
+        ("tagged L1D", MemProtTracking::TaggedL1d),
+        ("perfect shadow", MemProtTracking::PerfectShadow),
+    ] {
+        let mut core = CoreConfig::p_core();
+        core.mem_prot = mode;
+        let mut cols = Vec::new();
+        for pass in [Pass::Arch, Pass::Ct] {
+            let mut norms = Vec::new();
+            for w in &ws {
+                let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
+                let d = run_workload(w, &core, Defense::ProtTrack, Binary::SingleClass(pass)).cycles
+                    as f64;
+                norms.push(d / base);
+            }
+            cols.push(format!("{:+.1}%", (geomean(&norms) - 1.0) * 100.0));
+        }
+        t.row(&[label.into(), cols[0].clone(), cols[1].clone()]);
+    }
+}

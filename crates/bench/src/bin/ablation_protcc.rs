@@ -1,0 +1,44 @@
+//! §IX-A2: ProtCC instrumentation overhead — code size and runtime with
+//! Protean's hardware protections *disabled* (instrumented binaries on
+//! the unsafe core), SPEC2017int on a P-core.
+
+use protean_bench::{geomean, prepare, run_workload, Binary, Defense, TablePrinter};
+use protean_cc::Pass;
+use protean_isa::code_size;
+use protean_sim::CoreConfig;
+use protean_workloads::{spec2017_int, Scale};
+
+fn main() {
+    let (quick, scale) = protean_bench::parse_flags();
+    let mut ws = spec2017_int(Scale(scale));
+    if quick {
+        ws.truncate(3);
+    }
+    let core = CoreConfig::p_core();
+    let t = TablePrinter::new(&[10, 16, 18]);
+    println!("Ablation (IX-A2): ProtCC instrumentation overhead, protections disabled");
+    t.row(&[
+        "pass".into(),
+        "code size".into(),
+        "runtime (unsafe HW)".into(),
+    ]);
+    t.sep();
+    for pass in [Pass::Cts, Pass::Ct, Pass::Unr] {
+        let mut size = Vec::new();
+        let mut runtime = Vec::new();
+        for w in &ws {
+            let (program, _) = &w.threads[0];
+            let instrumented = prepare(program, Binary::SingleClass(pass));
+            size.push(code_size(&instrumented) as f64 / code_size(program) as f64);
+            let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
+            let inst =
+                run_workload(w, &core, Defense::Unsafe, Binary::SingleClass(pass)).cycles as f64;
+            runtime.push(inst / base);
+        }
+        t.row(&[
+            pass.name().into(),
+            format!("{:+.1}%", (geomean(&size) - 1.0) * 100.0),
+            format!("{:+.1}%", (geomean(&runtime) - 1.0) * 100.0),
+        ]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Reproduces **Fig. 5**: the ProtTrack access-predictor sensitivity
+//! study — misprediction rate and runtime overhead versus predictor size
+//! (the paper picks n = 1024 because it is within 0.6 % misprediction
+//! rate and 0.2 % overhead of an unbounded predictor).
+//!
+//! Averaged across ProtCC-ARCH- and ProtCC-CT-compiled SPEC2017int
+//! benchmarks on a P-core, normalized to the unsafe baseline (§VI-B2a).
+//!
+//! ```text
+//! cargo run --release -p protean-bench --bin figure_5 [--quick]
+//! ```
+
+use protean_bench::{geomean, run_workload, Binary, Defense, TablePrinter};
+use protean_cc::Pass;
+use protean_sim::CoreConfig;
+use protean_workloads::{spec2017_int, Scale};
+
+fn main() {
+    let (quick, scale) = protean_bench::parse_flags();
+    let scale = Scale(scale);
+    let core = CoreConfig::p_core();
+    let mut workloads = spec2017_int(scale);
+    if quick {
+        workloads.truncate(3);
+    }
+    let sizes: &[(String, Defense)] = &[
+        ("16".into(), Defense::ProtTrackEntries(16)),
+        ("64".into(), Defense::ProtTrackEntries(64)),
+        ("256".into(), Defense::ProtTrackEntries(256)),
+        ("1024".into(), Defense::ProtTrackEntries(1024)),
+        ("4096".into(), Defense::ProtTrackEntries(4096)),
+        ("unbounded".into(), Defense::ProtTrackUnbounded),
+    ];
+
+    let bases: Vec<f64> = workloads
+        .iter()
+        .map(|w| run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64)
+        .collect();
+
+    let t = TablePrinter::new(&[12, 16, 16]);
+    println!("Figure 5: ProtTrack access-predictor sensitivity (SPEC2017int, P-core)");
+    println!("(averaged over ProtCC-ARCH and ProtCC-CT binaries)");
+    t.row(&["entries".into(), "mispred rate".into(), "overhead".into()]);
+    t.sep();
+    for (label, defense) in sizes {
+        let mut norms = Vec::new();
+        let mut rates = Vec::new();
+        for pass in [Pass::Arch, Pass::Ct] {
+            for (w, base) in workloads.iter().zip(&bases) {
+                let r = run_workload(w, &core, *defense, Binary::SingleClass(pass));
+                norms.push(r.cycles as f64 / base);
+                if let Some(m) = r.mispred_rate {
+                    rates.push(m);
+                }
+            }
+        }
+        let rate = rates.iter().sum::<f64>() / rates.len().max(1) as f64;
+        t.row(&[
+            label.clone(),
+            format!("{:.3}%", rate * 100.0),
+            format!("{:+.2}%", (geomean(&norms) - 1.0) * 100.0),
+        ]);
+    }
+}

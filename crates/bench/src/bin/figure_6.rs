@@ -1,0 +1,69 @@
+//! Reproduces **Fig. 6**: per-benchmark normalized runtime of
+//! PROTEAN-Track-ARCH/-CT versus STT/SPT on the SPEC2017 benchmarks
+//! (`*.s`, P-core) and PARSEC (`*.p`, multi-core).
+//!
+//! ```text
+//! cargo run --release -p protean-bench --bin figure_6 [--quick]
+//! ```
+
+use protean_bench::{fmt_norm, geomean, run_workload, Binary, Defense, TablePrinter};
+use protean_cc::Pass;
+use protean_sim::CoreConfig;
+use protean_workloads::{parsec, spec2017, Scale, Workload};
+
+fn series(workloads: &[Workload], core: &CoreConfig, t: &TablePrinter, acc: &mut [Vec<f64>; 4]) {
+    for w in workloads {
+        let base = run_workload(w, core, Defense::Unsafe, Binary::Base).cycles as f64;
+        let stt = run_workload(w, core, Defense::Stt, Binary::Base).cycles as f64 / base;
+        let t_arch = run_workload(w, core, Defense::ProtTrack, Binary::SingleClass(Pass::Arch))
+            .cycles as f64
+            / base;
+        let spt = run_workload(w, core, Defense::Spt, Binary::Base).cycles as f64 / base;
+        let t_ct = run_workload(w, core, Defense::ProtTrack, Binary::SingleClass(Pass::Ct)).cycles
+            as f64
+            / base;
+        acc[0].push(stt);
+        acc[1].push(t_arch);
+        acc[2].push(spt);
+        acc[3].push(t_ct);
+        t.row(&[
+            w.name.clone(),
+            fmt_norm(stt),
+            fmt_norm(t_arch),
+            fmt_norm(spt),
+            fmt_norm(t_ct),
+        ]);
+    }
+}
+
+fn main() {
+    let (quick, scale) = protean_bench::parse_flags();
+    let scale = Scale(scale);
+    let t = TablePrinter::new(&[18, 10, 12, 10, 12]);
+    println!("Figure 6: per-benchmark normalized runtime");
+    t.row(&[
+        "benchmark".into(),
+        "STT".into(),
+        "Track-ARCH".into(),
+        "SPT".into(),
+        "Track-CT".into(),
+    ]);
+    t.sep();
+    let mut acc: [Vec<f64>; 4] = [vec![], vec![], vec![], vec![]];
+    let mut spec = spec2017(scale);
+    let mut par = parsec(scale);
+    if quick {
+        spec.truncate(3);
+        par.truncate(1);
+    }
+    series(&spec, &CoreConfig::p_core(), &t, &mut acc);
+    series(&par, &CoreConfig::e_core_mt(), &t, &mut acc);
+    t.sep();
+    t.row(&[
+        "geomean".into(),
+        fmt_norm(geomean(&acc[0])),
+        fmt_norm(geomean(&acc[1])),
+        fmt_norm(geomean(&acc[2])),
+        fmt_norm(geomean(&acc[3])),
+    ]);
+}

@@ -1,0 +1,140 @@
+//! `simulate`: run an assembly file under any defense configuration and
+//! print statistics — the repository's one-off experimentation tool.
+//!
+//! ```text
+//! cargo run --release -p protean-bench --bin simulate -- <file.pasm>
+//!     [--defense unsafe|nda|stt|spt|spt-sb|delay|track]
+//!     [--pass arch|cts|ct|unr|multi]     # ProtCC instrumentation
+//!     [--core p|e|tiny]
+//!     [--timeline N]                      # print the first N committed µops' stage timing
+//!     [--max-insts N]
+//! ```
+
+use protean_arch::ArchState;
+use protean_bench::{prepare, Binary, Defense};
+use protean_cc::Pass;
+use protean_isa::assemble;
+use protean_sim::{Core, CoreConfig};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut defense = Defense::Unsafe;
+    let mut binary = Binary::Base;
+    let mut core = CoreConfig::p_core();
+    let mut timeline = 0usize;
+    let mut max_insts = 5_000_000u64;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--defense" => {
+                defense = match it.next().map(String::as_str) {
+                    Some("unsafe") => Defense::Unsafe,
+                    Some("nda") => Defense::Nda,
+                    Some("stt") => Defense::Stt,
+                    Some("spt") => Defense::Spt,
+                    Some("spt-sb") => Defense::SptSb,
+                    Some("delay") => Defense::ProtDelay,
+                    Some("track") => Defense::ProtTrack,
+                    other => die(&format!("unknown defense {other:?}")),
+                }
+            }
+            "--pass" => {
+                binary = match it.next().map(String::as_str) {
+                    Some("arch") => Binary::SingleClass(Pass::Arch),
+                    Some("cts") => Binary::SingleClass(Pass::Cts),
+                    Some("ct") => Binary::SingleClass(Pass::Ct),
+                    Some("unr") => Binary::SingleClass(Pass::Unr),
+                    Some("multi") => Binary::MultiClass,
+                    other => die(&format!("unknown pass {other:?}")),
+                }
+            }
+            "--core" => {
+                core = match it.next().map(String::as_str) {
+                    Some("p") => CoreConfig::p_core(),
+                    Some("e") => CoreConfig::e_core(),
+                    Some("tiny") => CoreConfig::test_tiny(),
+                    other => die(&format!("unknown core {other:?}")),
+                }
+            }
+            "--timeline" => {
+                timeline = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--timeline needs a count"));
+            }
+            "--max-insts" => {
+                max_insts = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--max-insts needs a count"));
+            }
+            other if file.is_none() && !other.starts_with("--") => {
+                file = Some(other.to_string());
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(file) = file else {
+        die("usage: simulate <file.pasm> [--defense ...] [--pass ...] [--core ...]")
+    };
+    let source =
+        std::fs::read_to_string(&file).unwrap_or_else(|e| die(&format!("cannot read {file}: {e}")));
+    let program = assemble(&source).unwrap_or_else(|e| die(&format!("{file}: {e}")));
+    let prepared = prepare(&program, binary);
+
+    let mut c = Core::new(&prepared, core, defense.make(), &ArchState::new());
+    if timeline > 0 {
+        c.record_traces(true);
+    }
+    let r = c.run(max_insts, max_insts.saturating_mul(600));
+
+    println!("exit:        {:?}", r.exit);
+    println!("cycles:      {}", r.stats.cycles);
+    println!(
+        "committed:   {}  (IPC {:.3})",
+        r.stats.committed,
+        r.stats.ipc()
+    );
+    println!(
+        "branches:    {}  ({:.2}% mispredicted)",
+        r.stats.branches,
+        r.stats.mispredict_rate() * 100.0
+    );
+    println!(
+        "loads/stores: {}/{}  (forwarded {}; L1D hit rate {:.2}%)",
+        r.stats.loads,
+        r.stats.stores,
+        r.stats.forwards,
+        r.stats.l1d_hit_rate() * 100.0
+    );
+    println!(
+        "squashes:    {}  (branch {}, mem-order {}, div-fault {})",
+        r.stats.squashed,
+        r.stats.branch_squashes,
+        r.stats.memorder_squashes,
+        r.stats.divfault_squashes
+    );
+    println!(
+        "defense:     exec-blocked {}  wakeup-blocked {}  resolve-blocked {}",
+        r.stats.exec_blocked_cycles, r.stats.wakeup_blocked_cycles, r.stats.resolve_blocked_cycles
+    );
+    for (k, v) in &r.stats.policy {
+        println!("  {k}: {v:.4}");
+    }
+    if timeline > 0 {
+        println!("\ntimeline (pc: fetch rename issue complete commit):");
+        for row in r.timing.iter().take(timeline) {
+            println!(
+                "  {:#08x}: {:>6} {:>6} {:>6} {:>6} {:>6}",
+                row[0], row[1], row[2], row[3], row[4], row[5]
+            );
+        }
+    }
+}

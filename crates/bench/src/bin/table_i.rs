@@ -1,0 +1,151 @@
+//! Reproduces **Tab. I**: the targeting matrix — which defenses secure
+//! which vulnerable-code class, with the runtime overhead of the most
+//! performant applicable defense per class (percentages derived from the
+//! Tab. V suites, as in the paper), plus the §IV-C2a hardware-cost
+//! footer.
+//!
+//! ```text
+//! cargo run --release -p protean-bench --bin table_i [--quick]
+//! ```
+
+use protean_bench::{geomean, run_workload, Binary, Defense, TablePrinter};
+use protean_cc::Pass;
+use protean_core::area;
+use protean_sim::CoreConfig;
+use protean_workloads::{arch_wasm, ct_crypto, cts_crypto, nginx, unr_crypto, Scale, Workload};
+
+fn overhead(ws: &[Workload], d: Defense, binary: impl Fn(&Workload) -> Binary) -> f64 {
+    let core = CoreConfig::p_core();
+    let norms: Vec<f64> = ws
+        .iter()
+        .map(|w| {
+            let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
+            run_workload(w, &core, d, binary(w)).cycles as f64 / base
+        })
+        .collect();
+    (geomean(&norms) - 1.0) * 100.0
+}
+
+fn main() {
+    let (quick, scale) = protean_bench::parse_flags();
+    let scale = Scale(scale);
+    let mut suites: Vec<Vec<Workload>> = vec![
+        arch_wasm(scale),
+        cts_crypto(scale),
+        ct_crypto(scale),
+        unr_crypto(scale),
+    ];
+    let grid: &[(u64, u64)] = if quick {
+        &[(1, 1)]
+    } else {
+        &[(1, 1), (2, 2), (4, 4)]
+    };
+    let multi: Vec<Workload> = grid.iter().map(|(c, r)| nginx(*c, *r, scale)).collect();
+    if quick {
+        for s in &mut suites {
+            s.truncate(2);
+        }
+    }
+    let [arch, cts, ct, unr] = <[Vec<Workload>; 4]>::try_from(suites).expect("four suites");
+
+    let pct = |v: f64| format!("{v:.0}%");
+    let base_bin = |_: &Workload| Binary::Base;
+
+    // Per paper Tab. I: percentage = overhead of the most performant
+    // available defense securing that class; ✗ = does not secure.
+    let stt_arch = overhead(&arch, Defense::Stt, base_bin);
+    let spt_cts = overhead(&cts, Defense::Spt, base_bin);
+    let spt_ct = overhead(&ct, Defense::Spt, base_bin);
+    let sptsb_unr = overhead(&unr, Defense::SptSb, base_bin);
+    let sptsb_multi = overhead(&multi, Defense::SptSb, base_bin);
+
+    let protean = |d: Defense| {
+        (
+            overhead(&arch, d, |w| Binary::SingleClass(Pass::for_class(w.class))),
+            overhead(&cts, d, |w| Binary::SingleClass(Pass::for_class(w.class))),
+            overhead(&ct, d, |w| Binary::SingleClass(Pass::for_class(w.class))),
+            overhead(&unr, d, |w| Binary::SingleClass(Pass::for_class(w.class))),
+            overhead(&multi, d, |_| Binary::MultiClass),
+        )
+    };
+    let (d_arch, d_cts, d_ct, d_unr, d_multi) = protean(Defense::ProtDelay);
+    let (t_arch, t_cts, t_ct, t_unr, t_multi) = protean(Defense::ProtTrack);
+
+    let t = TablePrinter::new(&[22, 14, 8, 8, 8, 8, 10]);
+    println!("Table I: defenses, ProtSets, and targeted classes (measured overheads)");
+    t.row(&[
+        "defense".into(),
+        "mechanism".into(),
+        "ARCH".into(),
+        "CTS".into(),
+        "CT".into(),
+        "UNR".into(),
+        "multi".into(),
+    ]);
+    t.sep();
+    t.row(&[
+        "NDA/SpecShield".into(),
+        "AccessDelay".into(),
+        "Y".into(),
+        "x".into(),
+        "x".into(),
+        "x".into(),
+        "x".into(),
+    ]);
+    t.row(&[
+        "STT".into(),
+        "AccessTrack".into(),
+        pct(stt_arch),
+        "x".into(),
+        "x".into(),
+        "x".into(),
+        "x".into(),
+    ]);
+    t.row(&[
+        "SPT".into(),
+        "AccessTrack+".into(),
+        "Y".into(),
+        pct(spt_cts),
+        pct(spt_ct),
+        "x".into(),
+        "x".into(),
+    ]);
+    t.row(&[
+        "SPT-SB".into(),
+        "XmitDelay".into(),
+        "Y".into(),
+        "Y".into(),
+        "Y".into(),
+        pct(sptsb_unr),
+        pct(sptsb_multi),
+    ]);
+    t.row(&[
+        "PROTEAN (ProtDelay)".into(),
+        "ProtDelay".into(),
+        pct(d_arch),
+        pct(d_cts),
+        pct(d_ct),
+        pct(d_unr),
+        pct(d_multi),
+    ]);
+    t.row(&[
+        "PROTEAN (ProtTrack)".into(),
+        "ProtTrack".into(),
+        pct(t_arch),
+        pct(t_cts),
+        pct(t_ct),
+        pct(t_unr),
+        pct(t_multi),
+    ]);
+    t.sep();
+    println!(
+        "Hardware cost (§IV-C2a): P-core prot bits {} KiB ({:.4} mm^2, {:.1}% of L1D); \
+         E-core {} KiB ({:.4} mm^2, {:.1}% of L1D); access predictor 128 B",
+        area::prot_bits_bytes(48 * 1024) / 1024,
+        area::prot_bit_array_area_mm2(48 * 1024),
+        area::prot_bit_area_overhead(48 * 1024, area::P_CORE_L1D_AREA_MM2) * 100.0,
+        area::prot_bits_bytes(32 * 1024) / 1024,
+        area::prot_bit_array_area_mm2(32 * 1024),
+        area::prot_bit_area_overhead(32 * 1024, area::E_CORE_L1D_AREA_MM2) * 100.0,
+    );
+}

@@ -1,0 +1,85 @@
+//! Reproduces **Tab. II**: AMuLeT\*-detected contract violations for
+//! ProtCC-RAND/-ARCH/-CTS/-CT/-UNR test binaries on the unsafe baseline
+//! and on Protean (ProtDelay and ProtTrack). False positives in
+//! parentheses. Campaign sizes are scaled down like the artifact's
+//! `table-ii.py` (§A-F2); expect many violations for the unsafe column
+//! and zero true positives for Protean.
+//!
+//! ```text
+//! cargo run --release -p protean-bench --bin table_ii [--quick]
+//! ```
+
+use protean_amulet::{fuzz, Adversary, ContractKind, FuzzConfig, Report};
+use protean_bench::TablePrinter;
+use protean_cc::Pass;
+use protean_core::{ProtDelayPolicy, ProtTrackPolicy};
+use protean_sim::{DefensePolicy, UnsafePolicy};
+
+fn campaign(
+    pass: Pass,
+    contract: ContractKind,
+    programs: usize,
+    factory: &dyn Fn() -> Box<dyn DefensePolicy>,
+) -> Report {
+    // Both adversary models, like the paper's two-stage setup (§VII-B2).
+    let mut total = Report::default();
+    for adversary in [Adversary::CacheTlb, Adversary::Timing] {
+        let mut cfg = FuzzConfig::quick(pass, contract, adversary);
+        cfg.programs = programs;
+        cfg.inputs_per_program = 3;
+        cfg.gen.seed = 0xc0ffee;
+        let r = fuzz(&cfg, factory);
+        total.tests += r.tests;
+        total.violations += r.violations;
+        total.false_positives += r.false_positives;
+        total.pairs_rejected += r.pairs_rejected;
+    }
+    total
+}
+
+fn main() {
+    let (quick, _) = protean_bench::parse_flags();
+    let programs = if quick { 8 } else { 30 };
+    let rows: Vec<(&str, &str, Pass, ContractKind)> = vec![
+        (
+            "UNPROT-SEQ",
+            "ProtCC-RAND",
+            Pass::Rand { prob: 0.5, seed: 7 },
+            ContractKind::UnprotSeq,
+        ),
+        ("ARCH-SEQ", "ProtCC-ARCH", Pass::Arch, ContractKind::ArchSeq),
+        ("CTS-SEQ", "ProtCC-CTS", Pass::Cts, ContractKind::CtsSeq),
+        ("CT-SEQ", "ProtCC-CT", Pass::Ct, ContractKind::CtSeq),
+        ("CT-SEQ", "ProtCC-UNR", Pass::Unr, ContractKind::CtSeq),
+    ];
+    let t = TablePrinter::new(&[12, 14, 12, 12, 12]);
+    println!("Table II: contract violations (true positives, false positives in parens)");
+    println!("{programs} programs x 3 secret mutations x 2 adversary models per cell");
+    t.row(&[
+        "contract".into(),
+        "instrument.".into(),
+        "Unsafe".into(),
+        "ProtDelay".into(),
+        "ProtTrack".into(),
+    ]);
+    t.sep();
+    for (contract_name, instr, pass, contract) in rows {
+        let unsafe_r = campaign(pass, contract, programs, &|| Box::new(UnsafePolicy));
+        let delay_r = campaign(pass, contract, programs, &|| {
+            Box::new(ProtDelayPolicy::new())
+        });
+        let track_r = campaign(pass, contract, programs, &|| {
+            Box::new(ProtTrackPolicy::new())
+        });
+        let cell = |r: &Report| format!("{} ({})", r.violations, r.false_positives);
+        t.row(&[
+            contract_name.into(),
+            instr.into(),
+            cell(&unsafe_r),
+            cell(&delay_r),
+            cell(&track_r),
+        ]);
+    }
+    t.sep();
+    println!("Expected: >0 true positives for Unsafe, 0 for ProtDelay/ProtTrack.");
+}

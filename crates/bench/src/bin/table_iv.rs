@@ -1,0 +1,95 @@
+//! Reproduces **Tab. IV**: geometric-mean normalized runtime of all
+//! eight Protean single-class configurations against their best secure
+//! baseline, on SPEC2017 (P-core and E-core) and PARSEC (multi-core).
+//!
+//! ```text
+//! cargo run --release -p protean-bench --bin table_iv [--quick]
+//! ```
+
+use protean_bench::{fmt_norm, geomean, run_workload, Binary, Defense, TablePrinter};
+use protean_cc::Pass;
+use protean_sim::CoreConfig;
+use protean_workloads::{parsec, spec2017, Scale, Workload};
+
+struct ClassRow {
+    class: &'static str,
+    baseline: Defense,
+    pass: Pass,
+}
+
+fn rows() -> Vec<ClassRow> {
+    vec![
+        ClassRow {
+            class: "ARCH",
+            baseline: Defense::Stt,
+            pass: Pass::Arch,
+        },
+        ClassRow {
+            class: "CTS",
+            baseline: Defense::Spt,
+            pass: Pass::Cts,
+        },
+        ClassRow {
+            class: "CT",
+            baseline: Defense::Spt,
+            pass: Pass::Ct,
+        },
+        ClassRow {
+            class: "UNR",
+            baseline: Defense::SptSb,
+            pass: Pass::Unr,
+        },
+    ]
+}
+
+fn platform(label: &str, core: &CoreConfig, workloads: &[Workload], t: &TablePrinter) {
+    // Unsafe baselines, once per workload.
+    let bases: Vec<f64> = workloads
+        .iter()
+        .map(|w| run_workload(w, core, Defense::Unsafe, Binary::Base).cycles as f64)
+        .collect();
+    for row in rows() {
+        let mut bl = Vec::new();
+        let mut delay = Vec::new();
+        let mut track = Vec::new();
+        for (w, base) in workloads.iter().zip(&bases) {
+            let binary = Binary::SingleClass(row.pass);
+            bl.push(run_workload(w, core, row.baseline, Binary::Base).cycles as f64 / base);
+            delay.push(run_workload(w, core, Defense::ProtDelay, binary).cycles as f64 / base);
+            track.push(run_workload(w, core, Defense::ProtTrack, binary).cycles as f64 / base);
+        }
+        t.row(&[
+            format!("{label} / {}", row.class),
+            format!("{:?}", row.baseline),
+            fmt_norm(geomean(&bl)),
+            fmt_norm(geomean(&delay)),
+            fmt_norm(geomean(&track)),
+        ]);
+    }
+    t.sep();
+}
+
+fn main() {
+    let (quick, scale) = protean_bench::parse_flags();
+    let scale = Scale(scale);
+    let t = TablePrinter::new(&[22, 10, 10, 10, 10]);
+    println!("Table IV: geomean normalized runtime (baseline | Protean-Delay | Protean-Track)");
+    t.row(&[
+        "platform / class".into(),
+        "baseline".into(),
+        "base".into(),
+        "Delay".into(),
+        "Track".into(),
+    ]);
+    t.sep();
+
+    let mut spec = spec2017(scale);
+    let mut par = parsec(scale);
+    if quick {
+        spec.truncate(3);
+        par.truncate(2);
+    }
+    platform("SPEC2017 P-core", &CoreConfig::p_core(), &spec, &t);
+    platform("SPEC2017 E-core", &CoreConfig::e_core(), &spec, &t);
+    platform("PARSEC", &CoreConfig::e_core_mt(), &par, &t);
+}

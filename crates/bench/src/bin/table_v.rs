@@ -1,0 +1,109 @@
+//! Reproduces **Tab. V**: normalized runtime of Protean on the
+//! single-class suites (ARCH-Wasm vs STT, CTS-/CT-Crypto vs SPT,
+//! UNR-Crypto vs SPT-SB) and the multi-class nginx web server vs SPT-SB,
+//! all on a P-core.
+//!
+//! ```text
+//! cargo run --release -p protean-bench --bin table_v [--quick] [--scale N]
+//! ```
+
+use protean_bench::{binary_for, fmt_norm, geomean, run_workload, Binary, Defense, TablePrinter};
+use protean_sim::CoreConfig;
+use protean_workloads::{arch_wasm, ct_crypto, cts_crypto, nginx, unr_crypto, Scale, Workload};
+
+fn main() {
+    let (quick, scale) = protean_bench::parse_flags();
+    let scale = Scale(scale);
+    let core = CoreConfig::p_core();
+    let t = TablePrinter::new(&[18, 10, 10, 10]);
+
+    let mut suites: Vec<(&str, Defense, Vec<Workload>)> = vec![
+        ("ARCH-Wasm", Defense::Stt, arch_wasm(scale)),
+        ("CTS-Crypto", Defense::Spt, cts_crypto(scale)),
+        ("CT-Crypto", Defense::Spt, ct_crypto(scale)),
+        ("UNR-Crypto", Defense::SptSb, unr_crypto(scale)),
+    ];
+    if quick {
+        for (_, _, ws) in &mut suites {
+            ws.truncate(2);
+        }
+    }
+
+    println!("Table V: normalized runtime on a P-core (baseline | Protean-Delay | Protean-Track)");
+    for (suite, baseline, workloads) in &suites {
+        t.sep();
+        t.row(&[
+            suite.to_string(),
+            format!("{baseline:?}"),
+            "Delay".into(),
+            "Track".into(),
+        ]);
+        t.sep();
+        let mut cols: [Vec<f64>; 3] = [vec![], vec![], vec![]];
+        for w in workloads {
+            let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
+            let b = run_workload(w, &core, *baseline, Binary::Base).cycles as f64 / base;
+            let d = run_workload(
+                w,
+                &core,
+                Defense::ProtDelay,
+                binary_for(Defense::ProtDelay, w.class),
+            )
+            .cycles as f64
+                / base;
+            let k = run_workload(
+                w,
+                &core,
+                Defense::ProtTrack,
+                binary_for(Defense::ProtTrack, w.class),
+            )
+            .cycles as f64
+                / base;
+            cols[0].push(b);
+            cols[1].push(d);
+            cols[2].push(k);
+            t.row(&[w.name.clone(), fmt_norm(b), fmt_norm(d), fmt_norm(k)]);
+        }
+        t.row(&[
+            "geomean".into(),
+            fmt_norm(geomean(&cols[0])),
+            fmt_norm(geomean(&cols[1])),
+            fmt_norm(geomean(&cols[2])),
+        ]);
+    }
+
+    // Multi-class nginx vs SPT-SB.
+    t.sep();
+    t.row(&[
+        "Multi-Class".into(),
+        "SPT-SB".into(),
+        "Delay".into(),
+        "Track".into(),
+    ]);
+    t.sep();
+    let grid: &[(u64, u64)] = if quick {
+        &[(1, 1)]
+    } else {
+        &[(1, 1), (2, 2), (1, 4), (4, 1), (4, 4)]
+    };
+    let mut cols: [Vec<f64>; 3] = [vec![], vec![], vec![]];
+    for (c, r) in grid {
+        let w = nginx(*c, *r, scale);
+        let base = run_workload(&w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
+        let b = run_workload(&w, &core, Defense::SptSb, Binary::Base).cycles as f64 / base;
+        let d =
+            run_workload(&w, &core, Defense::ProtDelay, Binary::MultiClass).cycles as f64 / base;
+        let k =
+            run_workload(&w, &core, Defense::ProtTrack, Binary::MultiClass).cycles as f64 / base;
+        cols[0].push(b);
+        cols[1].push(d);
+        cols[2].push(k);
+        t.row(&[w.name.clone(), fmt_norm(b), fmt_norm(d), fmt_norm(k)]);
+    }
+    t.row(&[
+        "geomean".into(),
+        fmt_norm(geomean(&cols[0])),
+        fmt_norm(geomean(&cols[1])),
+        fmt_norm(geomean(&cols[2])),
+    ]);
+}

@@ -1,0 +1,185 @@
+//! Instruction-level control-flow graphs over function ranges.
+//!
+//! ProtCC's analyses are intraprocedural (paper §V-A): each node is one
+//! instruction, edges follow fall-through and static branch targets
+//! within the function, and `ret`/`halt`/indirect jumps are exits. Calls
+//! are treated as opaque: an edge to the next instruction, with
+//! analysis-specific conservative effects at the call site.
+
+use protean_isa::{Op, Program};
+
+/// The CFG of one function (a contiguous instruction range).
+#[derive(Clone, Debug)]
+pub struct FunctionCfg {
+    /// First instruction index of the function.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+    /// Successors of each instruction (function-relative indices).
+    pub succs: Vec<Vec<u32>>,
+    /// Predecessors of each instruction (function-relative indices).
+    pub preds: Vec<Vec<u32>>,
+    /// Whether each instruction is a function exit (`ret`, `halt`,
+    /// indirect jump, or a branch out of the range).
+    pub exits: Vec<bool>,
+}
+
+impl FunctionCfg {
+    /// Builds the CFG of `program[start..end]`.
+    ///
+    /// Branches whose targets lie outside the range (tail calls into
+    /// other functions) are treated as exits.
+    pub fn build(program: &Program, start: u32, end: u32) -> FunctionCfg {
+        let n = (end - start) as usize;
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut exits = vec![false; n];
+        let in_range = |idx: u32| idx >= start && idx < end;
+        for local in 0..n {
+            let idx = start + local as u32;
+            let inst = &program.insts[idx as usize];
+            let mut out: Vec<u32> = Vec::new();
+            match inst.op {
+                Op::Ret | Op::Halt | Op::JmpReg { .. } => {
+                    exits[local] = true;
+                }
+                Op::Call { .. } => {
+                    // Opaque call: control returns to the next
+                    // instruction (analyses apply call effects there).
+                    if in_range(idx + 1) {
+                        out.push(idx + 1 - start);
+                    } else {
+                        exits[local] = true;
+                    }
+                }
+                _ => {
+                    if inst.falls_through() {
+                        if in_range(idx + 1) {
+                            out.push(idx + 1 - start);
+                        } else {
+                            exits[local] = true;
+                        }
+                    }
+                    if let Some(t) = inst.static_target() {
+                        if in_range(t) {
+                            out.push(t - start);
+                        } else {
+                            exits[local] = true;
+                        }
+                    }
+                }
+            }
+            for s in &out {
+                preds[*s as usize].push(local as u32);
+            }
+            succs[local] = out;
+        }
+        FunctionCfg {
+            start,
+            end,
+            succs,
+            preds,
+            exits,
+        }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Returns `true` for an empty range.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Function-relative indices that start a basic block: the entry,
+    /// branch targets, and fall-throughs of branches.
+    pub fn block_leaders(&self) -> Vec<u32> {
+        let mut leader = vec![false; self.len()];
+        if !leader.is_empty() {
+            leader[0] = true;
+        }
+        for (i, out) in self.succs.iter().enumerate() {
+            if out.len() > 1 {
+                for s in out {
+                    leader[*s as usize] = true;
+                }
+            }
+            for s in out {
+                if *s as usize != i + 1 {
+                    leader[*s as usize] = true;
+                }
+            }
+        }
+        // Any instruction with multiple predecessors also starts a block.
+        for (i, p) in self.preds.iter().enumerate() {
+            if p.len() > 1 {
+                leader[i] = true;
+            }
+        }
+        leader
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.then_some(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protean_isa::assemble;
+
+    #[test]
+    fn diamond_cfg() {
+        let p = assemble(
+            r#"
+            cmp r0, 0       ; 0
+            jeq else        ; 1
+            add r1, r1, 1   ; 2
+            jmp join        ; 3
+          else:
+            add r1, r1, 2   ; 4
+          join:
+            ret             ; 5
+            "#,
+        )
+        .unwrap();
+        let cfg = FunctionCfg::build(&p, 0, 6);
+        assert_eq!(cfg.succs[1], vec![2, 4]);
+        assert_eq!(cfg.succs[3], vec![5]);
+        assert_eq!(cfg.succs[4], vec![5]);
+        assert_eq!(cfg.preds[5], vec![3, 4]);
+        assert!(cfg.exits[5]);
+        let leaders = cfg.block_leaders();
+        assert!(leaders.contains(&0));
+        assert!(leaders.contains(&4));
+        assert!(leaders.contains(&5));
+        assert!(!leaders.contains(&3));
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let p = assemble("top:\nadd r0, r0, 1\ncmp r0, 5\njlt top\nhalt\n").unwrap();
+        let cfg = FunctionCfg::build(&p, 0, 4);
+        assert_eq!(cfg.succs[2], vec![3, 0]);
+        assert!(cfg.preds[0].contains(&2));
+        assert!(cfg.exits[3]);
+    }
+
+    #[test]
+    fn out_of_range_target_is_exit() {
+        let p = assemble("jmp @2\nhalt\nnop\nhalt\n").unwrap();
+        let cfg = FunctionCfg::build(&p, 0, 2);
+        assert!(cfg.exits[0]); // target 2 is outside [0, 2)
+        assert!(cfg.succs[0].is_empty());
+    }
+
+    #[test]
+    fn call_falls_through() {
+        let p = assemble("call @3\nnop\nhalt\nret\n").unwrap();
+        let cfg = FunctionCfg::build(&p, 0, 3);
+        assert_eq!(cfg.succs[0], vec![1]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Batch program editing: `PROT`-prefix toggles and instruction
+//! insertions with automatic retargeting of branches, labels, and
+//! function ranges.
+
+use protean_isa::{Inst, Program};
+
+/// A batch editor over a [`Program`].
+///
+/// Collect prefix changes and insertions, then [`ProgramEditor::apply`]
+/// rewrites every branch target, label, and function range in one pass.
+/// An instruction inserted *at* position `p` executes before the
+/// original instruction `p`, and branches to `p` land on the insertion —
+/// exactly what block-entry instrumentation (identity moves) needs.
+///
+/// # Examples
+///
+/// ```
+/// use protean_cc::ProgramEditor;
+/// use protean_isa::{assemble, Reg};
+///
+/// let prog = assemble("jmp skip\nnop\nskip:\nhalt\n").unwrap();
+/// let mut ed = ProgramEditor::new(prog);
+/// ed.set_prot(1, true);
+/// ed.insert_identity_move(2, Reg::R5); // at the branch target
+/// let out = ed.apply();
+/// assert_eq!(out.insts[0].static_target(), Some(2)); // retargeted to the move
+/// assert!(out.insts[2].is_identity_move());
+/// assert!(out.validate().is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProgramEditor {
+    program: Program,
+    /// (position, instruction), kept sorted by position (stable).
+    insertions: Vec<(u32, Inst)>,
+}
+
+impl ProgramEditor {
+    /// Starts editing `program`.
+    pub fn new(program: Program) -> ProgramEditor {
+        ProgramEditor {
+            program,
+            insertions: Vec::new(),
+        }
+    }
+
+    /// Read access to the (pre-edit) program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Sets or clears the `PROT` prefix of instruction `idx`.
+    pub fn set_prot(&mut self, idx: u32, prot: bool) {
+        self.program.insts[idx as usize].prot = prot;
+    }
+
+    /// Inserts `inst` before position `pos` (branches to `pos` will land
+    /// on it).
+    pub fn insert_before(&mut self, pos: u32, inst: Inst) {
+        self.insertions.push((pos, inst));
+    }
+
+    /// Inserts ProtISA's register-unprotect idiom — an unprefixed
+    /// identity move (`mov r, r`, §IV-B3) — before position `pos`.
+    pub fn insert_identity_move(&mut self, pos: u32, reg: protean_isa::Reg) {
+        self.insert_before(
+            pos,
+            Inst::new(protean_isa::Op::Mov {
+                dst: reg,
+                src: reg,
+                width: protean_isa::Width::W64,
+            }),
+        );
+    }
+
+    /// Number of pending insertions.
+    pub fn pending_insertions(&self) -> usize {
+        self.insertions.len()
+    }
+
+    /// Applies all edits and returns the rewritten program.
+    pub fn apply(mut self) -> Program {
+        if self.insertions.is_empty() {
+            return self.program;
+        }
+        // Stable sort by position keeps same-position insertion order.
+        self.insertions.sort_by_key(|(pos, _)| *pos);
+        let positions: Vec<u32> = self.insertions.iter().map(|(p, _)| *p).collect();
+        // Number of insertions strictly before `idx`.
+        let shift_lt = |idx: u32| positions.partition_point(|p| *p < idx) as u32;
+
+        let old = &self.program;
+        let mut insts = Vec::with_capacity(old.insts.len() + self.insertions.len());
+        let mut ins_iter = self.insertions.iter().peekable();
+        for (idx, inst) in old.insts.iter().enumerate() {
+            while let Some((pos, new_inst)) = ins_iter.peek() {
+                if *pos as usize == idx {
+                    insts.push(*new_inst);
+                    ins_iter.next();
+                } else {
+                    break;
+                }
+            }
+            let mut inst = *inst;
+            if let Some(t) = inst.static_target() {
+                inst.set_static_target(t + shift_lt(t));
+            }
+            insts.push(inst);
+        }
+        // Trailing insertions (pos == len).
+        for (_, new_inst) in ins_iter {
+            insts.push(*new_inst);
+        }
+
+        let functions = old
+            .functions
+            .iter()
+            .map(|f| protean_isa::Function {
+                name: f.name.clone(),
+                start: f.start + shift_lt(f.start),
+                end: f.end + shift_lt(f.end),
+                class: f.class,
+            })
+            .collect();
+        let labels = old
+            .labels
+            .iter()
+            .map(|(name, idx)| (name.clone(), idx + shift_lt(*idx)))
+            .collect();
+        // Relocations: shift both ends and rewrite the materialized PC
+        // (branches to `target` land on insertions at that position, so
+        // code pointers must too).
+        let relocs: Vec<protean_isa::Reloc> = old
+            .relocs
+            .iter()
+            .map(|r| protean_isa::Reloc {
+                inst: r.inst + shift_lt(r.inst),
+                target: r.target + shift_lt(r.target),
+            })
+            .collect();
+        let mut out = Program {
+            insts,
+            functions,
+            labels,
+            relocs,
+            code_base: old.code_base,
+        };
+        for r in out.relocs.clone() {
+            let pc = out.pc_of(r.target);
+            match &mut out.insts[r.inst as usize].op {
+                protean_isa::Op::MovImm { imm, .. } => *imm = pc,
+                other => panic!("relocation slot holds {other:?}"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protean_isa::{assemble, Op, Reg, SecurityClass};
+
+    #[test]
+    fn insertion_shifts_targets() {
+        let prog = assemble("top:\nadd r0, r0, 1\ncmp r0, 5\njlt top\nhalt\n").unwrap();
+        let mut ed = ProgramEditor::new(prog);
+        ed.insert_identity_move(0, Reg::R1);
+        ed.insert_identity_move(3, Reg::R2);
+        let out = ed.apply();
+        assert_eq!(out.len(), 6);
+        // Back edge to `top` (old 0) lands on the inserted move (new 0).
+        let jlt = out.insts.iter().find(|i| i.is_cond_branch()).unwrap();
+        assert_eq!(jlt.static_target(), Some(0));
+        assert_eq!(out.labels["top"], 0);
+        assert!(out.validate().is_ok());
+    }
+
+    #[test]
+    fn same_position_order_preserved() {
+        let prog = assemble("nop\nhalt\n").unwrap();
+        let mut ed = ProgramEditor::new(prog);
+        ed.insert_identity_move(0, Reg::R1);
+        ed.insert_identity_move(0, Reg::R2);
+        let out = ed.apply();
+        assert!(matches!(out.insts[0].op, Op::Mov { dst: Reg::R1, .. }));
+        assert!(matches!(out.insts[1].op, Op::Mov { dst: Reg::R2, .. }));
+    }
+
+    #[test]
+    fn function_ranges_follow() {
+        let mut prog = assemble("nop\nret\nnop\nhalt\n").unwrap();
+        prog.functions.push(protean_isa::Function {
+            name: "f".into(),
+            start: 0,
+            end: 2,
+            class: SecurityClass::Ct,
+        });
+        let mut ed = ProgramEditor::new(prog);
+        ed.insert_identity_move(0, Reg::R0); // inside f
+        ed.insert_identity_move(2, Reg::R1); // after f
+        let out = ed.apply();
+        let f = out.function("f").unwrap();
+        assert_eq!((f.start, f.end), (0, 3)); // grew by the entry move
+        assert!(out.insts[3].is_identity_move()); // the post-f move
+    }
+
+    #[test]
+    fn prefix_toggle() {
+        let prog = assemble("mov r0, r1\nhalt\n").unwrap();
+        let mut ed = ProgramEditor::new(prog);
+        ed.set_prot(0, true);
+        let out = ed.apply();
+        assert!(out.insts[0].prot);
+    }
+
+    #[test]
+    fn trailing_insertion() {
+        let prog = assemble("nop\nhalt\n").unwrap();
+        let mut ed = ProgramEditor::new(prog);
+        ed.insert_before(2, Inst::new(Op::Halt));
+        let out = ed.apply();
+        assert_eq!(out.len(), 3);
+        assert!(matches!(out.insts[2].op, Op::Halt));
+    }
+}

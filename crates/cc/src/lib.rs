@@ -1,0 +1,94 @@
+//! # protean-cc
+//!
+//! **ProtCC**: the compiler passes that automatically, programmer-
+//! transparently program ProtISA protection sets, from *"Protean: A
+//! Programmable Spectre Defense"* (HPCA 2026, §V).
+//!
+//! One pass per vulnerable-code class (Fig. 2):
+//!
+//! * [`Pass::Arch`] — no-op: unmodified binaries already program the
+//!   non-secret-accessing ProtSet;
+//! * [`Pass::Cts`] — Serberus-style secrecy-typing inference for static
+//!   constant-time code;
+//! * [`Pass::Ct`] — past-leaked / bound-to-leak register dataflow for
+//!   constant-time code, with identity-move declassification;
+//! * [`Pass::Unr`] — never-secret residue (stack pointer, constants) for
+//!   unrestricted code;
+//! * [`Pass::Rand`] — random prefixes, for UNPROT-SEQ fuzzing (§VII-B4).
+//!
+//! [`compile`] drives multi-class programs: each class-labelled function
+//! is instrumented by its own pass — how Protean targets nginx
+//! (§VIII-B3). Supporting machinery: [`FunctionCfg`], the
+//! [`analysis`] dataflow module, [`cts`] typing inference, and the
+//! [`ProgramEditor`] that inserts identity moves while retargeting
+//! branches.
+//!
+//! # Example
+//!
+//! The paper's Fig. 3 function under ProtCC-CT:
+//!
+//! ```
+//! use protean_cc::{compile_with, Pass};
+//! use protean_isa::assemble;
+//!
+//! let prog = assemble(
+//!     "load r1, [r0]\nmov r2, 0\ncmp r1, 0\njlt @5\nload r2, [r1*4 + 0x1000]\nret\n",
+//! ).unwrap();
+//! let out = compile_with(&prog, Pass::Ct);
+//! assert_eq!(out.stats.prot_prefixes, 3);
+//! assert_eq!(out.stats.identity_moves, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+mod cfg;
+pub mod cts;
+mod edit;
+mod hints;
+mod passes;
+
+pub use cfg::FunctionCfg;
+pub use edit::ProgramEditor;
+pub use hints::{compile_with_hints, PublicHints};
+pub use passes::{compile, compile_with, Compiled, Pass, PassStats};
+
+use protean_arch::PublicTyping;
+use protean_isa::Program;
+
+/// Computes the CTS observer mode's [`PublicTyping`] for a (possibly
+/// instrumented) program: per instruction, the publicly-typed output
+/// registers. Functions are typed independently; instructions outside
+/// any function are treated as one region.
+///
+/// Used by the AMuLeT\*-style fuzzer to build the CTS-SEQ contract
+/// (paper §VII-B1c).
+pub fn public_typing(program: &Program) -> PublicTyping {
+    let mut typing = PublicTyping::all_secret(program.len());
+    let mut regions: Vec<(u32, u32)> = program.functions.iter().map(|f| (f.start, f.end)).collect();
+    regions.sort_unstable();
+    let mut cursor = 0u32;
+    let mut all: Vec<(u32, u32)> = Vec::new();
+    for (s, e) in regions {
+        if cursor < s {
+            all.push((cursor, s));
+        }
+        all.push((s, e));
+        cursor = cursor.max(e);
+    }
+    if cursor < program.len() as u32 {
+        all.push((cursor, program.len() as u32));
+    }
+    for (s, e) in all {
+        if s >= e {
+            continue;
+        }
+        let cfg = FunctionCfg::build(program, s, e);
+        let t = cts::infer_typing(program, &cfg);
+        for local in 0..cfg.len() {
+            typing.per_inst[(s + local as u32) as usize] = t.public_outputs[local];
+        }
+    }
+    typing
+}

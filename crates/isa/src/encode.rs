@@ -1,0 +1,500 @@
+//! Binary instruction encoding.
+//!
+//! Used for the code-size-overhead measurements of paper §IX-A2: the
+//! `PROT` prefix costs one byte (like an x86 prefix), and ProtCC's
+//! identity moves cost three, so instrumented binaries grow by a few
+//! percent — exactly the effect the paper reports.
+//!
+//! The encoding is a simple variable-length format:
+//!
+//! ```text
+//! [0x50 PROT prefix]? [opcode u8] [operands...]
+//! ```
+//!
+//! It round-trips exactly ([`encode_program`] then [`decode_program`]).
+
+use crate::{AluOp, Cond, Inst, Mem, Op, Operand, Program, Reg, Width};
+use core::fmt;
+
+/// The `PROT` prefix byte.
+pub const PROT_PREFIX: u8 = 0x50;
+
+/// Errors from [`decode_program`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// Input ended in the middle of an instruction.
+    UnexpectedEof,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Malformed operand field.
+    BadOperand,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of encoded stream"),
+            DecodeError::BadOpcode(b) => write!(f, "unknown opcode byte {b:#04x}"),
+            DecodeError::BadOperand => write!(f, "malformed operand field"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod opcode {
+    pub const MOV_IMM: u8 = 0x01;
+    pub const MOV: u8 = 0x02;
+    pub const CMOV: u8 = 0x03;
+    pub const ALU: u8 = 0x04;
+    pub const CMP: u8 = 0x05;
+    pub const DIV: u8 = 0x06;
+    pub const LOAD: u8 = 0x07;
+    pub const STORE: u8 = 0x08;
+    pub const JMP: u8 = 0x09;
+    pub const JCC: u8 = 0x0a;
+    pub const JMPREG: u8 = 0x0b;
+    pub const CALL: u8 = 0x0c;
+    pub const RET: u8 = 0x0d;
+    pub const NOP: u8 = 0x0e;
+    pub const HALT: u8 = 0x0f;
+}
+
+/// Encodes one instruction, appending to `out`; returns the number of
+/// bytes written.
+pub fn encode_inst(inst: &Inst, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    if inst.prot {
+        out.push(PROT_PREFIX);
+    }
+    match inst.op {
+        Op::MovImm { dst, imm, width } => {
+            out.push(opcode::MOV_IMM);
+            out.push(pack_reg_width(dst, width));
+            put_imm(imm, out);
+        }
+        Op::Mov { dst, src, width } => {
+            out.push(opcode::MOV);
+            out.push(pack_reg_width(dst, width));
+            out.push(src.index() as u8);
+        }
+        Op::CMov { cond, dst, src } => {
+            out.push(opcode::CMOV);
+            out.push(cond_code(cond));
+            out.push(dst.index() as u8);
+            out.push(src.index() as u8);
+        }
+        Op::Alu {
+            op,
+            dst,
+            src1,
+            src2,
+            width,
+        } => {
+            out.push(opcode::ALU);
+            out.push(alu_code(op));
+            out.push(pack_reg_width(dst, width));
+            out.push(src1.index() as u8);
+            put_operand(src2, out);
+        }
+        Op::Cmp { src1, src2 } => {
+            out.push(opcode::CMP);
+            out.push(src1.index() as u8);
+            put_operand(src2, out);
+        }
+        Op::Div { dst, src1, src2 } => {
+            out.push(opcode::DIV);
+            out.push(dst.index() as u8);
+            out.push(src1.index() as u8);
+            out.push(src2.index() as u8);
+        }
+        Op::Load { dst, addr, size } => {
+            out.push(opcode::LOAD);
+            out.push(pack_reg_width(dst, size));
+            put_mem(addr, out);
+        }
+        Op::Store { src, addr, size } => {
+            out.push(opcode::STORE);
+            out.push(width_code(size));
+            put_operand(src, out);
+            put_mem(addr, out);
+        }
+        Op::Jmp { target } => {
+            out.push(opcode::JMP);
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        Op::Jcc { cond, target } => {
+            out.push(opcode::JCC);
+            out.push(cond_code(cond));
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        Op::JmpReg { src } => {
+            out.push(opcode::JMPREG);
+            out.push(src.index() as u8);
+        }
+        Op::Call { target } => {
+            out.push(opcode::CALL);
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        Op::Ret => out.push(opcode::RET),
+        Op::Nop => out.push(opcode::NOP),
+        Op::Halt => out.push(opcode::HALT),
+    }
+    out.len() - start
+}
+
+/// Encodes a whole program.
+pub fn encode_program(program: &Program) -> Vec<u8> {
+    let mut out = Vec::with_capacity(program.len() * 4);
+    for inst in &program.insts {
+        encode_inst(inst, &mut out);
+    }
+    out
+}
+
+/// Encoded size of a program in bytes — the paper's code-size metric.
+///
+/// # Examples
+///
+/// ```
+/// use protean_isa::{assemble, code_size};
+///
+/// let base = assemble("mov r0, r1\nhalt\n").unwrap();
+/// let inst = assemble("prot mov r0, r1\nmov r1, r1\nhalt\n").unwrap();
+/// assert!(code_size(&inst) > code_size(&base));
+/// ```
+pub fn code_size(program: &Program) -> usize {
+    encode_program(program).len()
+}
+
+/// Decodes a byte stream produced by [`encode_program`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for truncated or malformed input.
+pub fn decode_program(bytes: &[u8]) -> Result<Vec<Inst>, DecodeError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let mut insts = Vec::new();
+    while !cursor.done() {
+        insts.push(decode_inst(&mut cursor)?);
+    }
+    Ok(insts)
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn done(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let mut buf = [0u8; 4];
+        for b in &mut buf {
+            *b = self.u8()?;
+        }
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn reg(&mut self) -> Result<Reg, DecodeError> {
+        let b = self.u8()? as usize;
+        if b >= Reg::COUNT {
+            return Err(DecodeError::BadOperand);
+        }
+        Ok(Reg::new(b))
+    }
+
+    fn imm(&mut self) -> Result<u64, DecodeError> {
+        let len = self.u8()? as usize;
+        if len > 8 {
+            return Err(DecodeError::BadOperand);
+        }
+        let mut buf = [0u8; 8];
+        for b in buf.iter_mut().take(len) {
+            *b = self.u8()?;
+        }
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn operand(&mut self) -> Result<Operand, DecodeError> {
+        match self.u8()? {
+            0 => Ok(Operand::Reg(self.reg()?)),
+            1 => Ok(Operand::Imm(self.imm()?)),
+            _ => Err(DecodeError::BadOperand),
+        }
+    }
+
+    fn mem(&mut self) -> Result<Mem, DecodeError> {
+        let flags = self.u8()?;
+        let mut mem = Mem::default();
+        if flags & 1 != 0 {
+            mem.base = Some(self.reg()?);
+        }
+        if flags & 2 != 0 {
+            let reg = self.reg()?;
+            let scale = self.u8()?;
+            if !matches!(scale, 1 | 2 | 4 | 8) {
+                return Err(DecodeError::BadOperand);
+            }
+            mem.index = Some((reg, scale));
+        }
+        if flags & 4 != 0 {
+            mem.disp = self.imm()? as i64;
+        }
+        Ok(mem)
+    }
+}
+
+fn decode_inst(c: &mut Cursor<'_>) -> Result<Inst, DecodeError> {
+    let mut b = c.u8()?;
+    let prot = b == PROT_PREFIX;
+    if prot {
+        b = c.u8()?;
+    }
+    let op = match b {
+        opcode::MOV_IMM => {
+            let (dst, width) = unpack_reg_width(c.u8()?)?;
+            Op::MovImm {
+                dst,
+                imm: c.imm()?,
+                width,
+            }
+        }
+        opcode::MOV => {
+            let (dst, width) = unpack_reg_width(c.u8()?)?;
+            Op::Mov {
+                dst,
+                src: c.reg()?,
+                width,
+            }
+        }
+        opcode::CMOV => Op::CMov {
+            cond: decode_cond(c.u8()?)?,
+            dst: c.reg()?,
+            src: c.reg()?,
+        },
+        opcode::ALU => {
+            let op = decode_alu(c.u8()?)?;
+            let (dst, width) = unpack_reg_width(c.u8()?)?;
+            Op::Alu {
+                op,
+                dst,
+                src1: c.reg()?,
+                src2: c.operand()?,
+                width,
+            }
+        }
+        opcode::CMP => Op::Cmp {
+            src1: c.reg()?,
+            src2: c.operand()?,
+        },
+        opcode::DIV => Op::Div {
+            dst: c.reg()?,
+            src1: c.reg()?,
+            src2: c.reg()?,
+        },
+        opcode::LOAD => {
+            let (dst, size) = unpack_reg_width(c.u8()?)?;
+            Op::Load {
+                dst,
+                addr: c.mem()?,
+                size,
+            }
+        }
+        opcode::STORE => {
+            let size = decode_width(c.u8()?)?;
+            Op::Store {
+                src: c.operand()?,
+                addr: c.mem()?,
+                size,
+            }
+        }
+        opcode::JMP => Op::Jmp { target: c.u32()? },
+        opcode::JCC => Op::Jcc {
+            cond: decode_cond(c.u8()?)?,
+            target: c.u32()?,
+        },
+        opcode::JMPREG => Op::JmpReg { src: c.reg()? },
+        opcode::CALL => Op::Call { target: c.u32()? },
+        opcode::RET => Op::Ret,
+        opcode::NOP => Op::Nop,
+        opcode::HALT => Op::Halt,
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok(Inst { op, prot })
+}
+
+fn put_imm(imm: u64, out: &mut Vec<u8>) {
+    let bytes = imm.to_le_bytes();
+    let len = (8 - imm.leading_zeros() as usize / 8).max(if imm == 0 { 0 } else { 1 });
+    out.push(len as u8);
+    out.extend_from_slice(&bytes[..len]);
+}
+
+fn put_operand(op: Operand, out: &mut Vec<u8>) {
+    match op {
+        Operand::Reg(r) => {
+            out.push(0);
+            out.push(r.index() as u8);
+        }
+        Operand::Imm(v) => {
+            out.push(1);
+            put_imm(v, out);
+        }
+    }
+}
+
+fn put_mem(mem: Mem, out: &mut Vec<u8>) {
+    let mut flags = 0u8;
+    if mem.base.is_some() {
+        flags |= 1;
+    }
+    if mem.index.is_some() {
+        flags |= 2;
+    }
+    if mem.disp != 0 {
+        flags |= 4;
+    }
+    out.push(flags);
+    if let Some(b) = mem.base {
+        out.push(b.index() as u8);
+    }
+    if let Some((r, s)) = mem.index {
+        out.push(r.index() as u8);
+        out.push(s);
+    }
+    if mem.disp != 0 {
+        put_imm(mem.disp as u64, out);
+    }
+}
+
+fn pack_reg_width(reg: Reg, width: Width) -> u8 {
+    (reg.index() as u8) | (width_code(width) << 6)
+}
+
+fn unpack_reg_width(b: u8) -> Result<(Reg, Width), DecodeError> {
+    let reg = (b & 0x3f) as usize;
+    if reg >= Reg::COUNT {
+        return Err(DecodeError::BadOperand);
+    }
+    Ok((Reg::new(reg), decode_width(b >> 6)?))
+}
+
+fn width_code(w: Width) -> u8 {
+    match w {
+        Width::W8 => 0,
+        Width::W16 => 1,
+        Width::W32 => 2,
+        Width::W64 => 3,
+    }
+}
+
+fn decode_width(b: u8) -> Result<Width, DecodeError> {
+    match b {
+        0 => Ok(Width::W8),
+        1 => Ok(Width::W16),
+        2 => Ok(Width::W32),
+        3 => Ok(Width::W64),
+        _ => Err(DecodeError::BadOperand),
+    }
+}
+
+fn alu_code(op: AluOp) -> u8 {
+    AluOp::ALL.iter().position(|a| *a == op).unwrap() as u8
+}
+
+fn decode_alu(b: u8) -> Result<AluOp, DecodeError> {
+    AluOp::ALL
+        .get(b as usize)
+        .copied()
+        .ok_or(DecodeError::BadOperand)
+}
+
+fn cond_code(c: Cond) -> u8 {
+    Cond::ALL.iter().position(|a| *a == c).unwrap() as u8
+}
+
+fn decode_cond(b: u8) -> Result<Cond, DecodeError> {
+    Cond::ALL
+        .get(b as usize)
+        .copied()
+        .ok_or(DecodeError::BadOperand)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    #[test]
+    fn roundtrip_representative_program() {
+        let p = assemble(
+            r#"
+            mov r0, 0
+            mov.w r1, 0xdeadbeef
+            prot add r1, r0, 7
+            sub.b r2, r1, r0
+            cmov.ne r2, r1
+            div r3, r1, r2
+            prot load r4, [r0 + r1*4 + 0x20]
+            load.h r5, [rsp]
+            store [rsp - 16], r4
+            store.b [r0], 0xff
+            cmp r4, 0x123456789a
+            jeq @12
+            jmpreg r2
+            call @14
+            ret
+            nop
+            halt
+            "#,
+        )
+        .unwrap();
+        let bytes = encode_program(&p);
+        let decoded = decode_program(&bytes).unwrap();
+        assert_eq!(decoded, p.insts);
+    }
+
+    #[test]
+    fn prot_prefix_costs_one_byte() {
+        let base = assemble("mov r0, r1\nhalt\n").unwrap();
+        let prot = assemble("prot mov r0, r1\nhalt\n").unwrap();
+        assert_eq!(code_size(&prot), code_size(&base) + 1);
+    }
+
+    #[test]
+    fn zero_imm_is_compact() {
+        let p = assemble("mov r0, 0\nmov r1, 0xffffffffffffffff\nhalt\n").unwrap();
+        let bytes = encode_program(&p);
+        // mov r0, 0 is 3 bytes; mov r1, MAX is 11.
+        assert_eq!(bytes.len(), 3 + 11 + 1);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let p = assemble("mov r0, 0x1234\nhalt\n").unwrap();
+        let bytes = encode_program(&p);
+        for cut in 1..bytes.len() - 1 {
+            // Every strict prefix either decodes to fewer insts or errors;
+            // it must never panic.
+            let _ = decode_program(&bytes[..cut]);
+        }
+        assert!(matches!(
+            decode_program(&[opcode::MOV_IMM]),
+            Err(DecodeError::UnexpectedEof)
+        ));
+        assert!(matches!(
+            decode_program(&[0xee]),
+            Err(DecodeError::BadOpcode(0xee))
+        ));
+    }
+}

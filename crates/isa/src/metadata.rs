@@ -1,0 +1,209 @@
+//! Prefix-less ProtSet encoding: the instruction metadata table.
+//!
+//! The paper introduces ProtISA for x86 because it is the only major ISA
+//! with instruction prefixes, and notes (§IV) that "ProtISA can be
+//! extended to work with any major ISA by storing PROT prefixes
+//! separately in an instruction metadata table". This module implements
+//! that alternative: a bit-packed side table carrying one protection bit
+//! per instruction, so the code stream itself stays prefix-free.
+
+use crate::Program;
+use core::fmt;
+
+/// A per-instruction protection-bit table (the prefix-less ProtISA
+/// encoding for ISAs without instruction prefixes).
+///
+/// # Examples
+///
+/// ```
+/// use protean_isa::{assemble, ProtMetadataTable};
+///
+/// let prog = assemble("prot mov r0, r1\nmov r2, r3\nhalt\n").unwrap();
+/// let (stripped, table) = ProtMetadataTable::strip(&prog);
+/// assert!(stripped.insts.iter().all(|i| !i.prot));
+/// assert!(table.is_protected(0));
+/// assert!(!table.is_protected(1));
+/// let restored = table.apply(&stripped);
+/// assert_eq!(restored.insts, prog.insts);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ProtMetadataTable {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+/// Error from [`ProtMetadataTable::decode`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MetadataDecodeError;
+
+impl fmt::Display for MetadataDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "truncated protection-metadata stream")
+    }
+}
+
+impl std::error::Error for MetadataDecodeError {}
+
+impl ProtMetadataTable {
+    /// Builds the table from a program's `PROT` prefixes.
+    pub fn from_program(program: &Program) -> ProtMetadataTable {
+        let len = program.len();
+        let mut bits = vec![0u64; len.div_ceil(64)];
+        for (i, inst) in program.insts.iter().enumerate() {
+            if inst.prot {
+                bits[i / 64] |= 1 << (i % 64);
+            }
+        }
+        ProtMetadataTable { bits, len }
+    }
+
+    /// Extracts the table and returns the prefix-free program alongside
+    /// it.
+    pub fn strip(program: &Program) -> (Program, ProtMetadataTable) {
+        let table = ProtMetadataTable::from_program(program);
+        let mut stripped = program.clone();
+        for inst in &mut stripped.insts {
+            inst.prot = false;
+        }
+        (stripped, table)
+    }
+
+    /// Re-applies the table's protection bits to a program of the same
+    /// length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's length differs from the table's.
+    pub fn apply(&self, program: &Program) -> Program {
+        assert_eq!(program.len(), self.len, "metadata table length mismatch");
+        let mut out = program.clone();
+        for (i, inst) in out.insts.iter_mut().enumerate() {
+            inst.prot = self.is_protected(i as u32);
+        }
+        out
+    }
+
+    /// Whether instruction `idx` is protected.
+    pub fn is_protected(&self, idx: u32) -> bool {
+        let i = idx as usize;
+        i < self.len && self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of instructions covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` for an empty table.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of protected instructions.
+    pub fn protected_count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Storage cost in bytes: one bit per instruction (compare with the
+    /// one *byte* per protected instruction of the prefix encoding).
+    pub fn size_bytes(&self) -> usize {
+        self.len.div_ceil(8)
+    }
+
+    /// Serializes the table (length-prefixed, bit-packed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.bits.len() * 8);
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        for w in &self.bits {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a table produced by [`ProtMetadataTable::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetadataDecodeError`] on truncated input.
+    pub fn decode(bytes: &[u8]) -> Result<ProtMetadataTable, MetadataDecodeError> {
+        if bytes.len() < 8 {
+            return Err(MetadataDecodeError);
+        }
+        let len = u64::from_le_bytes(bytes[..8].try_into().expect("checked")) as usize;
+        let words = len.div_ceil(64);
+        if bytes.len() < 8 + words * 8 {
+            return Err(MetadataDecodeError);
+        }
+        let bits = (0..words)
+            .map(|w| u64::from_le_bytes(bytes[8 + w * 8..16 + w * 8].try_into().expect("checked")))
+            .collect();
+        Ok(ProtMetadataTable { bits, len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    fn sample() -> Program {
+        assemble(
+            "prot mov r0, r1\nmov r2, r3\nprot add r4, r5, 1\ncmp r0, 0\nprot load r6, [r0]\nhalt\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn strip_apply_roundtrip() {
+        let prog = sample();
+        let (stripped, table) = ProtMetadataTable::strip(&prog);
+        assert_eq!(stripped.prot_count(), 0);
+        assert_eq!(table.protected_count(), 3);
+        assert_eq!(table.apply(&stripped).insts, prog.insts);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let table = ProtMetadataTable::from_program(&sample());
+        let bytes = table.encode();
+        assert_eq!(ProtMetadataTable::decode(&bytes).unwrap(), table);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = ProtMetadataTable::from_program(&sample()).encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                ProtMetadataTable::decode(&bytes[..cut]),
+                Err(MetadataDecodeError),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_is_denser_than_prefixes_for_heavy_protection() {
+        // A UNR-style binary protects most instructions: one bit per
+        // instruction beats one prefix byte per protected instruction.
+        let mut prog = sample();
+        for inst in &mut prog.insts {
+            inst.prot = true;
+        }
+        let table = ProtMetadataTable::from_program(&prog);
+        assert!(table.size_bytes() < prog.prot_count());
+    }
+
+    #[test]
+    fn out_of_range_reads_unprotected() {
+        let table = ProtMetadataTable::from_program(&sample());
+        assert!(!table.is_protected(999));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn apply_checks_length() {
+        let table = ProtMetadataTable::from_program(&sample());
+        let other = assemble("halt\n").unwrap();
+        let _ = table.apply(&other);
+    }
+}

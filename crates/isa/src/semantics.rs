@@ -1,0 +1,209 @@
+//! Pure functional instruction semantics, shared by the sequential
+//! (architectural) emulator and the out-of-order pipeline so that the two
+//! can never diverge.
+
+use crate::{AluOp, Flags, Width};
+
+/// Evaluates an ALU operation.
+///
+/// Returns the new destination value (with [`Width`] merge semantics
+/// applied against `old_dst`) and the resulting flags. Flags are computed
+/// from the full-width result, with subtraction additionally setting
+/// carry/overflow (see [`Flags::from_sub`]).
+///
+/// # Examples
+///
+/// ```
+/// use protean_isa::{alu_eval, AluOp, Width};
+///
+/// let (v, f) = alu_eval(AluOp::Add, 2, 3, Width::W64, 0);
+/// assert_eq!(v, 5);
+/// assert!(!f.zf);
+///
+/// // 32-bit ops zero-extend (x86 semantics).
+/// let (v, _) = alu_eval(AluOp::Add, u64::MAX, 1, Width::W32, 0xdead_0000_0000_0000);
+/// assert_eq!(v, 0);
+/// ```
+pub fn alu_eval(op: AluOp, a: u64, b: u64, width: Width, old_dst: u64) -> (u64, Flags) {
+    let (raw, flags) = match op {
+        AluOp::Add => {
+            let r = a.wrapping_add(b);
+            (r, Flags::from_result(r))
+        }
+        AluOp::Sub => (a.wrapping_sub(b), Flags::from_sub(a, b)),
+        AluOp::And => {
+            let r = a & b;
+            (r, Flags::from_result(r))
+        }
+        AluOp::Or => {
+            let r = a | b;
+            (r, Flags::from_result(r))
+        }
+        AluOp::Xor => {
+            let r = a ^ b;
+            (r, Flags::from_result(r))
+        }
+        AluOp::Shl => {
+            let r = a.wrapping_shl(b as u32);
+            (r, Flags::from_result(r))
+        }
+        AluOp::Shr => {
+            let r = a.wrapping_shr(b as u32);
+            (r, Flags::from_result(r))
+        }
+        AluOp::Sar => {
+            let r = (a as i64).wrapping_shr(b as u32) as u64;
+            (r, Flags::from_result(r))
+        }
+        AluOp::Rol => {
+            let r = a.rotate_left((b % 64) as u32);
+            (r, Flags::from_result(r))
+        }
+        AluOp::Ror => {
+            let r = a.rotate_right((b % 64) as u32);
+            (r, Flags::from_result(r))
+        }
+        AluOp::Mul => {
+            let r = a.wrapping_mul(b);
+            (r, Flags::from_result(r))
+        }
+    };
+    (width.apply(old_dst, raw), flags)
+}
+
+/// The outcome of a division µop.
+///
+/// Division is a **transmitter** (paper §VII-B4b): the divider's
+/// early-exit latency is a function of both operands, and a zero divisor
+/// raises a fault. Architectural fault suppression (as in the AMuLeT
+/// fuzzing harness) gives the faulting case a defined result so that
+/// execution can continue deterministically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DivOutcome {
+    /// The quotient (all-ones when the division faulted, mimicking a
+    /// suppressed-fault defined result).
+    pub quotient: u64,
+    /// Whether the division faulted (zero divisor).
+    pub faulted: bool,
+    /// Divider occupancy in cycles — operand-dependent (early exit),
+    /// which is exactly the side channel.
+    pub latency: u32,
+}
+
+/// Evaluates a division µop, including its timing side channel.
+///
+/// # Examples
+///
+/// ```
+/// use protean_isa::div_eval;
+///
+/// let ok = div_eval(100, 7);
+/// assert_eq!(ok.quotient, 14);
+/// assert!(!ok.faulted);
+///
+/// let fault = div_eval(100, 0);
+/// assert!(fault.faulted);
+///
+/// // Latency depends on operand magnitudes: a small quotient exits early.
+/// assert!(div_eval(u64::MAX, 3).latency > div_eval(8, 3).latency);
+/// ```
+pub fn div_eval(dividend: u64, divisor: u64) -> DivOutcome {
+    if divisor == 0 {
+        return DivOutcome {
+            quotient: u64::MAX,
+            faulted: true,
+            latency: DIV_FAULT_LATENCY,
+        };
+    }
+    let quotient = dividend / divisor;
+    DivOutcome {
+        quotient,
+        faulted: false,
+        latency: div_latency(quotient),
+    }
+}
+
+/// Base latency of the divider.
+pub const DIV_BASE_LATENCY: u32 = 8;
+
+/// Latency of a faulting division (the fault path is detected early).
+pub const DIV_FAULT_LATENCY: u32 = 4;
+
+/// Early-exit divider latency model: one cycle per two quotient bits on
+/// top of the base latency (radix-4-style early exit, 8–40 cycles — the
+/// gem5 O3 divider spans a similar operand-dependent range).
+pub fn div_latency(quotient: u64) -> u32 {
+    let significant_bits = 64 - quotient.leading_zeros();
+    DIV_BASE_LATENCY + significant_bits / 2
+}
+
+/// The *partial* function of the division operands that the divider
+/// transmits: its latency and fault outcome. Security contracts that
+/// treat divisions as transmitters expose exactly this (paper §II-B1).
+pub fn div_leakage(dividend: u64, divisor: u64) -> u64 {
+    let o = div_eval(dividend, divisor);
+    (o.latency as u64) << 1 | o.faulted as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_basic() {
+        assert_eq!(alu_eval(AluOp::Add, 7, 5, Width::W64, 0).0, 12);
+        assert_eq!(alu_eval(AluOp::Sub, 7, 5, Width::W64, 0).0, 2);
+        assert_eq!(
+            alu_eval(AluOp::And, 0b1100, 0b1010, Width::W64, 0).0,
+            0b1000
+        );
+        assert_eq!(alu_eval(AluOp::Or, 0b1100, 0b1010, Width::W64, 0).0, 0b1110);
+        assert_eq!(
+            alu_eval(AluOp::Xor, 0b1100, 0b1010, Width::W64, 0).0,
+            0b0110
+        );
+        assert_eq!(alu_eval(AluOp::Shl, 1, 8, Width::W64, 0).0, 256);
+        assert_eq!(alu_eval(AluOp::Shr, 256, 8, Width::W64, 0).0, 1);
+        assert_eq!(
+            alu_eval(AluOp::Sar, (-16i64) as u64, 2, Width::W64, 0).0,
+            (-4i64) as u64
+        );
+        assert_eq!(alu_eval(AluOp::Mul, 6, 7, Width::W64, 0).0, 42);
+        assert_eq!(
+            alu_eval(AluOp::Rol, 0x8000_0000_0000_0000, 1, Width::W64, 0).0,
+            1
+        );
+        assert_eq!(
+            alu_eval(AluOp::Ror, 1, 1, Width::W64, 0).0,
+            0x8000_0000_0000_0000
+        );
+    }
+
+    #[test]
+    fn alu_partial_width_merges() {
+        let (v, _) = alu_eval(AluOp::Add, 0x10, 0x05, Width::W8, 0xaabb_ccdd_0000_0000);
+        assert_eq!(v, 0xaabb_ccdd_0000_0015);
+    }
+
+    #[test]
+    fn sub_flags_drive_signed_compares() {
+        let (_, f) = alu_eval(AluOp::Sub, 3, 5, Width::W64, 0);
+        assert!(crate::Cond::Lt.eval(f));
+        assert!(crate::Cond::Ult.eval(f));
+    }
+
+    #[test]
+    fn div_fault_and_latency() {
+        assert!(div_eval(1, 0).faulted);
+        assert!(!div_eval(0, 1).faulted);
+        assert_eq!(div_eval(0, 1).quotient, 0);
+        // Latency is monotone in quotient magnitude.
+        let small = div_eval(10, 3).latency;
+        let large = div_eval(u64::MAX, 1).latency;
+        assert!(small < large);
+        // Leakage distinguishes operand pairs with different latencies.
+        assert_ne!(div_leakage(10, 3), div_leakage(u64::MAX, 1));
+        // ... but not ones with identical latency and fault status.
+        assert_eq!(div_leakage(10, 3), div_leakage(9, 3));
+    }
+}

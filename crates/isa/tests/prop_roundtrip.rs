@@ -1,0 +1,147 @@
+//! Property tests: encode/decode and assemble/disassemble round-trips
+//! hold for arbitrary instructions.
+
+use proptest::prelude::*;
+use protean_isa::{
+    assemble, decode_program, encode_program, AluOp, Cond, Inst, Mem, Op, Operand, Program, Reg,
+    Width,
+};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0..Reg::COUNT).prop_map(Reg::new)
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop::sample::select(Width::ALL.to_vec())
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(Cond::ALL.to_vec())
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::ALL.to_vec())
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_reg().prop_map(Operand::Reg),
+        any::<u64>().prop_map(Operand::Imm),
+    ]
+}
+
+fn arb_mem() -> impl Strategy<Value = Mem> {
+    (
+        prop::option::of(arb_reg()),
+        prop::option::of((arb_reg(), prop::sample::select(vec![1u8, 2, 4, 8]))),
+        // Keep displacements in a readable range so the assembler's
+        // hex formatting round-trips.
+        -0xffff_i64..0xffff_i64,
+    )
+        .prop_map(|(base, index, disp)| Mem { base, index, disp })
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_reg(), any::<u64>(), arb_width()).prop_map(|(dst, imm, width)| Op::MovImm {
+            dst,
+            imm,
+            width
+        }),
+        (arb_reg(), arb_reg(), arb_width()).prop_map(|(dst, src, width)| Op::Mov {
+            dst,
+            src,
+            width
+        }),
+        (arb_cond(), arb_reg(), arb_reg()).prop_map(|(cond, dst, src)| Op::CMov { cond, dst, src }),
+        (arb_alu(), arb_reg(), arb_reg(), arb_operand(), arb_width()).prop_map(
+            |(op, dst, src1, src2, width)| Op::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+                width
+            }
+        ),
+        (arb_reg(), arb_operand()).prop_map(|(src1, src2)| Op::Cmp { src1, src2 }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(dst, src1, src2)| Op::Div { dst, src1, src2 }),
+        (arb_reg(), arb_mem(), arb_width()).prop_map(|(dst, addr, size)| Op::Load {
+            dst,
+            addr,
+            size
+        }),
+        (arb_operand(), arb_mem(), arb_width()).prop_map(|(src, addr, size)| Op::Store {
+            src,
+            addr,
+            size
+        }),
+        (0u32..10_000).prop_map(|target| Op::Jmp { target }),
+        (arb_cond(), 0u32..10_000).prop_map(|(cond, target)| Op::Jcc { cond, target }),
+        arb_reg().prop_map(|src| Op::JmpReg { src }),
+        (0u32..10_000).prop_map(|target| Op::Call { target }),
+        Just(Op::Ret),
+        Just(Op::Nop),
+        Just(Op::Halt),
+    ]
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    (arb_op(), any::<bool>()).prop_map(|(op, prot)| Inst { op, prot })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(insts in prop::collection::vec(arb_inst(), 1..64)) {
+        let program = Program::from_insts(insts.clone());
+        let bytes = encode_program(&program);
+        let decoded = decode_program(&bytes).unwrap();
+        prop_assert_eq!(decoded, insts);
+    }
+
+    #[test]
+    fn display_assemble_roundtrip(insts in prop::collection::vec(arb_inst(), 1..64)) {
+        let text: String = insts.iter().map(|i| format!("{i}\n")).collect();
+        let parsed = assemble(&text).unwrap();
+        prop_assert_eq!(parsed.insts, insts);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_program(&bytes);
+    }
+
+    #[test]
+    fn src_dst_regs_disjoint_from_flags_rules(inst in arb_inst()) {
+        // RFLAGS is written implicitly exactly by ALU ops and compares
+        // (unless the generated instruction names RFLAGS as its explicit
+        // destination).
+        prop_assume!(inst.explicit_dst() != Some(Reg::RFLAGS));
+        let writes_flags = inst.dst_regs().contains(Reg::RFLAGS);
+        let expect = matches!(inst.op, Op::Alu { .. } | Op::Cmp { .. });
+        prop_assert_eq!(writes_flags, expect);
+    }
+
+    #[test]
+    fn sensitive_regs_subset_of_srcs(inst in arb_inst()) {
+        // Transmitted (sensitive) registers are always read by the
+        // instruction.
+        let t = protean_isa::TransmitterSet::paper();
+        prop_assert!(inst.src_regs().is_superset(t.sensitive_regs(&inst)));
+    }
+}
+
+proptest! {
+    /// The prefix-less metadata encoding (paper §IV): strip + apply is
+    /// the identity for arbitrary instruction streams, and the table's
+    /// serialization round-trips.
+    #[test]
+    fn metadata_table_roundtrip(insts in prop::collection::vec(arb_inst(), 1..64)) {
+        use protean_isa::ProtMetadataTable;
+        let program = Program::from_insts(insts.clone());
+        let (stripped, table) = ProtMetadataTable::strip(&program);
+        prop_assert!(stripped.insts.iter().all(|i| !i.prot));
+        prop_assert_eq!(table.apply(&stripped).insts, insts);
+        let decoded = ProtMetadataTable::decode(&table.encode()).unwrap();
+        prop_assert_eq!(decoded, table);
+    }
+}

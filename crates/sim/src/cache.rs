@@ -1,0 +1,340 @@
+//! Set-associative cache timing model with per-byte metadata bits.
+//!
+//! Caches here are *tag + metadata* models: data always comes from the
+//! functional memory (plus store-queue forwarding), so the caches decide
+//! latency, and — for the L1D — carry the per-byte protection/shadow bits
+//! that ProtISA (§IV-C2a) and SPT attach to it. Evicting a line drops its
+//! metadata, which is exactly the "L1D evictions cause ProtISA to forget
+//! what data was unprotected" behaviour.
+
+use crate::CacheConfig;
+
+/// One cache line: tag plus per-byte metadata bits.
+#[derive(Clone, Debug)]
+struct Line {
+    /// Line-aligned address (`addr & !(line_bytes-1)`), or `None` if
+    /// invalid.
+    tag: Option<u64>,
+    /// LRU timestamp.
+    lru: u64,
+    /// Per-byte metadata (ProtISA protection bits / SPT shadow bits).
+    meta: Box<[bool]>,
+}
+
+/// A set-associative, LRU, write-allocate cache (timing + metadata).
+///
+/// # Examples
+///
+/// ```
+/// use protean_sim::{Cache, CacheConfig};
+///
+/// let cfg = CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64, latency: 3 };
+/// let mut c = Cache::new(cfg, true);
+/// assert!(!c.access(0x100).hit);
+/// assert!(c.access(0x100).hit); // now resident
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    /// Metadata value for bytes of a newly filled line.
+    meta_fill: bool,
+    clock: u64,
+    /// Hits and misses, for statistics.
+    pub hits: u64,
+    /// Miss counter.
+    pub misses: u64,
+}
+
+/// Result of a cache access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccessResult {
+    /// Whether the line was resident.
+    pub hit: bool,
+    /// The line-aligned address of any line evicted to make room.
+    pub evicted: Option<u64>,
+}
+
+impl Cache {
+    /// Creates an empty cache. `meta_fill` is the metadata value given to
+    /// every byte of a newly allocated line (ProtISA: `true` = protected;
+    /// SPT shadow bits: `false` = private).
+    pub fn new(cfg: CacheConfig, meta_fill: bool) -> Cache {
+        let sets = (0..cfg.sets())
+            .map(|_| {
+                (0..cfg.ways)
+                    .map(|_| Line {
+                        tag: None,
+                        lru: 0,
+                        meta: vec![meta_fill; cfg.line_bytes].into_boxed_slice(),
+                    })
+                    .collect()
+            })
+            .collect();
+        Cache {
+            cfg,
+            sets,
+            meta_fill,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.line_bytes as u64 - 1)
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.cfg.line_bytes as u64) % self.cfg.sets() as u64) as usize
+    }
+
+    /// Returns `true` if the line containing `addr` is resident (no LRU
+    /// update, no allocation).
+    pub fn probe(&self, addr: u64) -> bool {
+        let la = self.line_addr(addr);
+        self.sets[self.set_index(addr)]
+            .iter()
+            .any(|l| l.tag == Some(la))
+    }
+
+    /// Accesses (and allocates on miss) the line containing `addr`,
+    /// updating LRU. Returns hit/miss and any eviction.
+    pub fn access(&mut self, addr: u64) -> AccessResult {
+        self.clock += 1;
+        let la = self.line_addr(addr);
+        let set_idx = self.set_index(addr);
+        let clock = self.clock;
+        let meta_fill = self.meta_fill;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.tag == Some(la)) {
+            line.lru = clock;
+            self.hits += 1;
+            return AccessResult {
+                hit: true,
+                evicted: None,
+            };
+        }
+        self.misses += 1;
+        // Victim: invalid way, else LRU.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| (l.tag.is_some(), l.lru))
+            .expect("cache set has ways");
+        let evicted = victim.tag.take();
+        victim.tag = Some(la);
+        victim.lru = clock;
+        victim.meta.fill(meta_fill);
+        AccessResult {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Invalidates the line containing `addr` (coherence), dropping its
+    /// metadata. Returns `true` if a line was invalidated.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let la = self.line_addr(addr);
+        let set_idx = self.set_index(addr);
+        for line in &mut self.sets[set_idx] {
+            if line.tag == Some(la) {
+                line.tag = None;
+                line.meta.fill(self.meta_fill);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// ORs the metadata bits of `[addr, addr+size)`. Bytes on non-resident
+    /// lines contribute `meta_fill` (i.e. protected for ProtISA).
+    pub fn meta_any(&self, addr: u64, size: u64) -> bool {
+        self.meta_fold(addr, size, false, |acc, b| acc | b)
+    }
+
+    /// ANDs the metadata bits of `[addr, addr+size)` (non-resident bytes
+    /// contribute `meta_fill`).
+    pub fn meta_all(&self, addr: u64, size: u64) -> bool {
+        self.meta_fold(addr, size, true, |acc, b| acc & b)
+    }
+
+    fn meta_fold(&self, addr: u64, size: u64, init: bool, f: impl Fn(bool, bool) -> bool) -> bool {
+        let mut acc = init;
+        let mut a = addr;
+        let end = addr.wrapping_add(size);
+        while a != end {
+            let la = self.line_addr(a);
+            let set = &self.sets[self.set_index(a)];
+            let line = set.iter().find(|l| l.tag == Some(la));
+            let line_end = la + self.cfg.line_bytes as u64;
+            let chunk_end = end.min(line_end).max(a + 1);
+            match line {
+                Some(line) => {
+                    for b in a..chunk_end {
+                        acc = f(acc, line.meta[(b - la) as usize]);
+                    }
+                }
+                None => {
+                    for _ in a..chunk_end {
+                        acc = f(acc, self.meta_fill);
+                    }
+                }
+            }
+            a = chunk_end;
+        }
+        acc
+    }
+
+    /// Sets the metadata bits of `[addr, addr+size)` on resident lines to
+    /// `value` (non-resident bytes are untouched: the cache has forgotten
+    /// them).
+    pub fn meta_set(&mut self, addr: u64, size: u64, value: bool) {
+        let line_bytes = self.cfg.line_bytes as u64;
+        let mut a = addr;
+        let end = addr.wrapping_add(size);
+        while a != end {
+            let la = self.line_addr(a);
+            let set_idx = self.set_index(a);
+            let line_end = la + line_bytes;
+            let chunk_end = end.min(line_end).max(a + 1);
+            if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.tag == Some(la)) {
+                for b in a..chunk_end {
+                    line.meta[(b - la) as usize] = value;
+                }
+            }
+            a = chunk_end;
+        }
+    }
+
+    /// The adversary-visible tag state: for each set, the resident line
+    /// addresses ordered by recency (a FLUSH+RELOAD/PRIME+PROBE-grade
+    /// observation).
+    pub fn tag_observation(&self) -> Vec<u64> {
+        let mut obs = Vec::new();
+        for (i, set) in self.sets.iter().enumerate() {
+            let mut lines: Vec<(u64, u64)> = set
+                .iter()
+                .filter_map(|l| l.tag.map(|t| (l.lru, t)))
+                .collect();
+            lines.sort_unstable();
+            obs.push(i as u64);
+            obs.extend(lines.into_iter().map(|(_, t)| t));
+        }
+        obs
+    }
+
+    /// Hit rate so far (1.0 if no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(
+            CacheConfig {
+                size_bytes: 256,
+                ways: 2,
+                line_bytes: 64,
+                latency: 1,
+            },
+            true,
+        )
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(0x40).hit);
+        assert!(c.access(0x40).hit);
+        assert!(c.access(0x7f).hit); // same line
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = tiny(); // 2 sets, 2 ways
+                            // Three lines mapping to set 0 (line addrs multiples of 128).
+        c.access(0x000);
+        c.access(0x080);
+        c.access(0x000); // touch to make 0x080 LRU
+        let r = c.access(0x100);
+        assert_eq!(r.evicted, Some(0x080));
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x080));
+    }
+
+    #[test]
+    fn meta_bits_lifecycle() {
+        let mut c = tiny();
+        // Not resident: every byte reads as meta_fill (protected).
+        assert!(c.meta_any(0x40, 8));
+        c.access(0x40);
+        assert!(c.meta_any(0x40, 8)); // fill default = protected
+        c.meta_set(0x40, 8, false);
+        assert!(!c.meta_any(0x40, 8));
+        assert!(c.meta_any(0x40, 9)); // 9th byte still protected
+                                      // Eviction forgets the unprotection.
+        c.access(0x0c0);
+        c.access(0x140); // evicts 0x40 (LRU)
+        assert!(!c.probe(0x40));
+        assert!(c.meta_any(0x40, 8));
+    }
+
+    #[test]
+    fn meta_all_vs_any() {
+        let mut c = tiny();
+        c.access(0x00);
+        c.meta_set(0x00, 4, false);
+        assert!(!c.meta_all(0x00, 8)); // half unprotected
+        assert!(c.meta_any(0x00, 8));
+        assert!(!c.meta_any(0x00, 4));
+        assert!(c.meta_all(0x04, 4));
+    }
+
+    #[test]
+    fn invalidate_drops_meta() {
+        let mut c = tiny();
+        c.access(0x40);
+        c.meta_set(0x40, 64, false);
+        assert!(c.invalidate(0x40));
+        assert!(!c.probe(0x40));
+        assert!(c.meta_any(0x40, 1));
+        assert!(!c.invalidate(0x40));
+    }
+
+    #[test]
+    fn tag_observation_reflects_contents() {
+        let mut a = tiny();
+        let mut b = tiny();
+        a.access(0x000);
+        b.access(0x080);
+        assert_ne!(a.tag_observation(), b.tag_observation());
+        let mut c = tiny();
+        c.access(0x000);
+        assert_eq!(a.tag_observation(), c.tag_observation());
+    }
+
+    #[test]
+    fn meta_cross_line() {
+        let mut c = tiny();
+        c.access(0x78); // line 0x40
+        c.access(0x80); // line 0x80
+        c.meta_set(0x7c, 8, false); // spans both lines
+        assert!(!c.meta_any(0x7c, 8));
+    }
+}

@@ -1,0 +1,287 @@
+//! The defense ↔ pipeline interface.
+//!
+//! Every hardware Spectre defense in this repository — the unsafe
+//! baseline, NDA/SpecShield's AccessDelay, STT's AccessTrack, SPT,
+//! SPT-SB's XmitDelay, and Protean's ProtDelay/ProtTrack — is a
+//! [`DefensePolicy`]: a set of hooks the out-of-order pipeline calls at
+//! rename, issue, wakeup, branch resolution, load data return, commit,
+//! and squash. One pipeline implementation serves all defense
+//! configurations, exactly as one gem5 tree hosted all of them in the
+//! paper (§VII-B3).
+
+use crate::pipeline::DynInst;
+use crate::{Cache, SpeculationModel};
+use protean_isa::TransmitterSet;
+
+/// Global µop sequence numbers. Sequence `0` is reserved as "no root".
+pub type Seq = u64;
+
+/// Sentinel for "not tainted / no taint root".
+pub const NO_ROOT: Seq = 0;
+
+/// Per-physical-register defense metadata, owned by the pipeline and
+/// manipulated by policies.
+#[derive(Clone, Debug)]
+pub struct RegTags {
+    /// ProtISA protection tag (paper §IV-E: exposed throughout the
+    /// backend).
+    pub prot: Vec<bool>,
+    /// Plain value taint (SPT-style: cleared by architectural
+    /// transmission, not by time).
+    pub taint: Vec<bool>,
+    /// Youngest root of taint (STT-style): the sequence number of the
+    /// youngest access instruction this value transitively depends on, or
+    /// [`NO_ROOT`]. A value is *tainted* while its root is still
+    /// speculative.
+    pub yrot: Vec<Seq>,
+}
+
+impl RegTags {
+    /// Creates tags for `n` physical registers. Initial architectural
+    /// values start protected (ProtISA's initial ProtSet) and tainted
+    /// (SPT considers untransmitted data private).
+    pub fn new(n: usize, arch_regs: usize) -> RegTags {
+        let mut tags = RegTags {
+            prot: vec![false; n],
+            taint: vec![false; n],
+            yrot: vec![NO_ROOT; n],
+        };
+        for i in 0..arch_regs {
+            tags.prot[i] = true;
+            tags.taint[i] = true;
+        }
+        tags
+    }
+}
+
+/// The speculation frontier: which sequence numbers are still speculative
+/// this cycle, under the configured [`SpeculationModel`] (paper §II-B2).
+#[derive(Clone, Copy, Debug)]
+pub struct SpecFrontier {
+    /// Sequence number of the ROB head (`Seq::MAX` if the ROB is empty).
+    pub head_seq: Seq,
+    /// Sequence number of the oldest unresolved branch (`Seq::MAX` if
+    /// none).
+    pub oldest_unresolved_branch: Seq,
+    /// The active speculation model.
+    pub model: SpeculationModel,
+}
+
+impl SpecFrontier {
+    /// Whether the µop with sequence `seq` is non-speculative this cycle.
+    ///
+    /// Under `AtCommit`, a µop is non-speculative only once it reaches
+    /// the ROB head; under `Control`, once all *prior* branches resolved
+    /// — a branch does not keep itself speculative (`<=`), or a
+    /// mispredicted branch could never be allowed to resolve.
+    pub fn is_non_speculative(&self, seq: Seq) -> bool {
+        match self.model {
+            SpeculationModel::AtCommit => seq <= self.head_seq,
+            SpeculationModel::Control => seq <= self.oldest_unresolved_branch,
+        }
+    }
+
+    /// Whether a taint root is still speculative (i.e. the tainted value
+    /// must still be considered secret). [`NO_ROOT`] is never tainted.
+    pub fn root_speculative(&self, yrot: Seq) -> bool {
+        yrot != NO_ROOT && !self.is_non_speculative(yrot)
+    }
+}
+
+/// Why a squash was initiated (statistics and the timing side channel).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SquashKind {
+    /// Branch misprediction.
+    Branch,
+    /// Memory-order violation (a load executed before an older,
+    /// conflicting store resolved its address).
+    MemOrder,
+    /// Division fault machine clear.
+    DivFault,
+}
+
+/// A hardware protection mechanism (paper §III-B): decides which µops may
+/// transmit, wake dependents, or resolve, and maintains its taint/shadow
+/// state at the pipeline's hook points.
+///
+/// The default implementations are the **unsafe baseline**: never block
+/// anything, track nothing.
+pub trait DefensePolicy {
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+
+    /// The transmitter kinds this defense assumes (paper §II-B1). The
+    /// final, fixed versions of all defenses treat division µops as
+    /// transmitters; the pre-fix versions (`TransmitterSet::legacy`) are
+    /// kept for the §VII-B4b reproduction.
+    fn transmitters(&self) -> TransmitterSet {
+        TransmitterSet::paper()
+    }
+
+    /// Whether the pipeline should maintain ProtISA's protection plumbing
+    /// (rename-map prot bits, physical-register prot tags, LSQ prot bits,
+    /// L1D byte prot bits) for this policy.
+    fn uses_protisa(&self) -> bool {
+        false
+    }
+
+    /// Metadata value for newly filled L1D lines (`true` = protected for
+    /// ProtISA; `false` = private for SPT's shadow bits — both mean
+    /// "assume secret").
+    fn l1d_meta_fill(&self) -> bool {
+        true
+    }
+
+    /// Reproduce the pending-squash bug inherited from STT's gem5
+    /// implementation (§VII-B4b): the squash arbiter considers only the
+    /// oldest mispredicted branch regardless of taint, so an older
+    /// tainted branch blocks younger untainted ones.
+    fn pending_squash_bug(&self) -> bool {
+        false
+    }
+
+    /// Called after the pipeline renames `u` (srcs/dsts/prot fields
+    /// filled). The policy assigns taint roots / wakeup delays and writes
+    /// the destination tags.
+    fn on_rename(&mut self, u: &mut DynInst, tags: &mut RegTags) {
+        propagate_tags(u, tags);
+    }
+
+    /// May this ready µop begin execution this cycle? Returning `false`
+    /// delays transmission (XmitDelay-style); the pipeline retries every
+    /// cycle.
+    fn may_execute(&self, _u: &DynInst, _tags: &RegTags, _fr: &SpecFrontier) -> bool {
+        true
+    }
+
+    /// May this completed µop wake its dependents this cycle?
+    /// (AccessDelay-style; the pipeline retries every cycle.)
+    fn may_wakeup(&self, _u: &DynInst, _tags: &RegTags, _fr: &SpecFrontier) -> bool {
+        true
+    }
+
+    /// May this executed, mispredicted branch initiate its squash this
+    /// cycle? (Delayed branch resolution; the squash signal itself is a
+    /// transmitter of the predicate.)
+    fn may_resolve(&self, _u: &DynInst, _tags: &RegTags, _fr: &SpecFrontier) -> bool {
+        true
+    }
+
+    /// A load (or `ret`) received its data. `u.mem` carries the address,
+    /// forwarding provenance, and — if ProtISA plumbing is on — the
+    /// protection of the read bytes in `u.mem_prot`.
+    fn on_load_data(&mut self, _u: &mut DynInst, _tags: &mut RegTags, _l1d: &Cache) {}
+
+    /// `u` retires. `l1d` is provided for shadow-bit maintenance (SPT
+    /// marks transmitted bytes public here).
+    fn on_commit(&mut self, _u: &DynInst, _tags: &mut RegTags, _l1d: &mut Cache) {}
+
+    /// Everything younger than `surviving_seq` was squashed.
+    fn on_squash(&mut self, _surviving_seq: Seq) {}
+
+    /// Policy-specific statistics (name, value).
+    fn stats(&self) -> Vec<(String, f64)> {
+        Vec::new()
+    }
+}
+
+/// Default rename-time tag propagation: destination tags inherit the OR
+/// of the source taints and the max of the source taint roots. Policies
+/// call this and then strengthen (root new taint, untaint, etc.).
+pub fn propagate_tags(u: &mut DynInst, tags: &mut RegTags) {
+    let mut taint = false;
+    let mut yrot = NO_ROOT;
+    for &(_, phys) in &u.srcs {
+        taint |= tags.taint[phys];
+        yrot = yrot.max(tags.yrot[phys]);
+    }
+    u.in_taint = taint;
+    u.in_yrot = yrot;
+    for d in &u.dsts {
+        tags.taint[d.new_phys] = taint;
+        tags.yrot[d.new_phys] = yrot;
+    }
+}
+
+/// Physical registers of `u`'s *sensitive* operands under transmitter set
+/// `t` (the registers whose values the µop transmits).
+pub fn sensitive_phys(u: &DynInst, t: &TransmitterSet) -> Vec<usize> {
+    let sens = t.sensitive_regs(&u.inst);
+    u.srcs
+        .iter()
+        .filter(|(r, _)| sens.contains(*r))
+        .map(|(_, p)| *p)
+        .collect()
+}
+
+/// Whether any sensitive operand of `u` is tainted under STT-style
+/// root-based taint.
+pub fn sensitive_root_tainted(
+    u: &DynInst,
+    t: &TransmitterSet,
+    tags: &RegTags,
+    fr: &SpecFrontier,
+) -> bool {
+    sensitive_phys(u, t)
+        .into_iter()
+        .any(|p| fr.root_speculative(tags.yrot[p]))
+}
+
+/// Whether any sensitive operand of `u` is tainted under SPT-style value
+/// taint.
+pub fn sensitive_value_tainted(u: &DynInst, t: &TransmitterSet, tags: &RegTags) -> bool {
+    sensitive_phys(u, t).into_iter().any(|p| tags.taint[p])
+}
+
+/// The unsafe baseline: the unmodified out-of-order core.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnsafePolicy;
+
+impl DefensePolicy for UnsafePolicy {
+    fn name(&self) -> String {
+        "unsafe".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_at_commit() {
+        let fr = SpecFrontier {
+            head_seq: 10,
+            oldest_unresolved_branch: Seq::MAX,
+            model: SpeculationModel::AtCommit,
+        };
+        assert!(fr.is_non_speculative(10)); // at head
+        assert!(fr.is_non_speculative(5)); // older than head (committed)
+        assert!(!fr.is_non_speculative(11));
+        assert!(!fr.root_speculative(NO_ROOT));
+        assert!(fr.root_speculative(12));
+        assert!(!fr.root_speculative(9));
+    }
+
+    #[test]
+    fn frontier_control() {
+        let fr = SpecFrontier {
+            head_seq: 10,
+            oldest_unresolved_branch: 20,
+            model: SpeculationModel::Control,
+        };
+        // Under CONTROL, anything older than the oldest unresolved branch
+        // is already non-speculative, even deep in the ROB — and the
+        // branch itself has no *prior* unresolved branch.
+        assert!(fr.is_non_speculative(19));
+        assert!(fr.is_non_speculative(20));
+        assert!(!fr.is_non_speculative(25));
+    }
+
+    #[test]
+    fn unsafe_policy_blocks_nothing() {
+        let p = UnsafePolicy;
+        assert_eq!(p.name(), "unsafe");
+        assert!(!p.uses_protisa());
+        assert!(p.transmitters().divs);
+    }
+}

@@ -1,0 +1,1436 @@
+//! The speculative, out-of-order core.
+//!
+//! A gem5-O3-style pipeline: fetch (with TAGE/BTB/RSB prediction and a
+//! constant front-end depth), rename (rename map, physical register file,
+//! free list, and ProtISA's rename-map protection bits), dispatch into
+//! a reorder buffer with load/store-queue accounting, an issue window,
+//! execution with per-FU latencies (including a blocking, operand-
+//! dependent divider), store-to-load forwarding with memory-order
+//! speculation (and violation squashes), delayed branch resolution, and
+//! in-order commit.
+//!
+//! The active [`DefensePolicy`] is consulted at every security-relevant
+//! point; the unsafe baseline is the policy that never blocks anything.
+
+use crate::defense::{DefensePolicy, RegTags, Seq, SpecFrontier, SquashKind, NO_ROOT};
+use crate::{Btb, Rsb, TagePredictor};
+use crate::{Cache, CoreConfig, MemProtTracking, Stats};
+use protean_arch::{ArchState, Memory};
+use protean_isa::{alu_eval, div_eval, Flags, Inst, Op, Operand, Program, Reg, Width};
+use std::collections::{HashSet, VecDeque};
+
+/// Per-destination rename bookkeeping.
+#[derive(Clone, Debug)]
+pub struct DstInfo {
+    /// Architectural register written.
+    pub arch: Reg,
+    /// Newly allocated physical register.
+    pub new_phys: usize,
+    /// Previous mapping (restored on squash, freed on commit).
+    pub prev_phys: usize,
+    /// Previous rename-map protection bit (restored on squash).
+    pub prev_prot: bool,
+    /// The computed result (valid once executed).
+    pub value: u64,
+}
+
+/// Memory-access state of a load/store µop.
+#[derive(Clone, Debug)]
+pub struct MemState {
+    /// Effective address (set at execute).
+    pub addr: Option<u64>,
+    /// Access size in bytes.
+    pub size: u64,
+    /// `true` for stores (including `call`).
+    pub is_store: bool,
+    /// Load: value read. Store: data value (once captured).
+    pub value: u64,
+    /// Store: data operand captured.
+    pub data_ready: bool,
+    /// Store: LSQ protection bit of the data operand (ProtISA §IV-C2b).
+    pub data_prot: bool,
+    /// Store: taint root of the data operand.
+    pub data_yrot: Seq,
+    /// Store: value taint of the data operand.
+    pub data_taint: bool,
+    /// Load: the store it forwarded from, if any.
+    pub fwd_from: Option<Seq>,
+    /// Load: forwarding store's data taint root (ProtTrack §VI-B2c).
+    pub fwd_data_yrot: Seq,
+    /// Load: forwarding store's value taint.
+    pub fwd_data_taint: bool,
+}
+
+/// µop lifecycle in the backend.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UopStatus {
+    /// Dispatched, waiting for operands / a port / the defense.
+    Waiting,
+    /// Executing; completes at the given cycle.
+    Executing(u64),
+    /// Store that computed its address but awaits its data operand.
+    WaitingData,
+    /// Finished execution.
+    Done,
+}
+
+/// An in-flight µop: the unit all [`DefensePolicy`] hooks operate on.
+#[derive(Clone, Debug)]
+pub struct DynInst {
+    /// Global sequence number (1-based; age order).
+    pub seq: Seq,
+    /// Static instruction index.
+    pub idx: u32,
+    /// Program counter.
+    pub pc: u64,
+    /// The instruction.
+    pub inst: Inst,
+    /// Renamed sources: (architectural, physical).
+    pub srcs: Vec<(Reg, usize)>,
+    /// Renamed destinations.
+    pub dsts: Vec<DstInfo>,
+    /// Lifecycle status.
+    pub status: UopStatus,
+    /// Memory state for loads/stores.
+    pub mem: Option<MemState>,
+    /// Predicted next instruction index (branches; `None` = predicted
+    /// stop).
+    pub pred_next: Option<u32>,
+    /// For conditional branches: predicted direction.
+    pub pred_taken: bool,
+    /// Actual next index once executed (`Some(None)` = invalid target).
+    pub actual_next: Option<Option<u32>>,
+    /// Actual direction (conditional branches).
+    pub actual_taken: bool,
+    /// Whether this branch was discovered mispredicted at execute.
+    pub mispredicted: bool,
+    /// Whether this branch has resolved (squash initiated if needed).
+    pub resolved: bool,
+    /// Wakeup already granted to dependents.
+    pub wakeup_done: bool,
+    /// TAGE global-history snapshot from before this µop's fetch.
+    pub hist_snapshot: u64,
+    /// RSB snapshot from before this µop's fetch.
+    pub rsb_snapshot: Vec<u64>,
+
+    // ---- Defense-generic state --------------------------------------
+    /// `PROT` prefix: output registers are architecturally protected.
+    pub prot_out: bool,
+    /// Any input register protected at rename (ProtISA Def. 1 reg part).
+    pub src_prot: bool,
+    /// Any *sensitive* input register protected at rename (access
+    /// transmitter, under the policy's transmitter set).
+    pub sens_prot: bool,
+    /// Load: read protected memory (set at execute; ProtISA Def. 1
+    /// memory part).
+    pub mem_prot: Option<bool>,
+    /// OR of source value taints at rename.
+    pub in_taint: bool,
+    /// Max of source taint roots at rename.
+    pub in_yrot: Seq,
+    /// AccessDelay-style: hold dependents until this µop is
+    /// non-speculative.
+    pub delay_wakeup_nonspec: bool,
+    /// ProtTrack store-forwarding rule: hold dependents until this taint
+    /// root is non-speculative.
+    pub wakeup_hold_root: Seq,
+    /// ProtTrack access-predictor decision for loads
+    /// (`Some(true)` = predicted *no-access*).
+    pub pred_no_access: Option<bool>,
+    /// Division µop faulted (zero divisor) — triggers a machine clear at
+    /// commit.
+    pub div_fault: bool,
+
+    // ---- Timing (the AMuLeT* stage-timing adversary observes these) --
+    /// Cycle fetched.
+    pub fetch_cycle: u64,
+    /// Cycle renamed.
+    pub rename_cycle: u64,
+    /// Cycle issued (0 until issued).
+    pub issue_cycle: u64,
+    /// Cycle completed.
+    pub complete_cycle: u64,
+}
+
+impl DynInst {
+    /// Physical register of architectural source `reg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is not a source of this µop.
+    pub fn src_phys(&self, reg: Reg) -> usize {
+        self.srcs
+            .iter()
+            .find(|(r, _)| *r == reg)
+            .map(|(_, p)| *p)
+            .unwrap_or_else(|| panic!("{reg} is not a source of {}", self.inst))
+    }
+
+    /// Whether the µop is a load (including `ret`).
+    pub fn is_load(&self) -> bool {
+        self.inst.is_load()
+    }
+
+    /// Whether the µop is a store (including `call`).
+    pub fn is_store(&self) -> bool {
+        self.inst.is_store()
+    }
+}
+
+struct FetchEntry {
+    idx: u32,
+    pred_next: Option<u32>,
+    pred_taken: bool,
+    hist_snapshot: u64,
+    rsb_snapshot: Vec<u64>,
+    ready_cycle: u64,
+}
+
+/// Why the simulation ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimExit {
+    /// A `halt` committed.
+    Halted,
+    /// The committed-instruction limit was reached.
+    MaxInsts,
+    /// The cycle limit was reached.
+    MaxCycles,
+    /// A committed indirect branch had an out-of-range target.
+    BadControlFlow,
+    /// The watchdog fired (no commit for a long time) — a pipeline bug.
+    Deadlock,
+}
+
+/// Result of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Why the run ended.
+    pub exit: SimExit,
+    /// Statistics.
+    pub stats: Stats,
+    /// Per-committed-µop stage timing: `[pc, fetch, rename, issue,
+    /// complete, commit]` — the AMuLeT\* timing adversary's observation
+    /// (paper §VII-B1d). Recorded only when tracing is enabled.
+    pub timing: Vec<[u64; 6]>,
+    /// Adversary-visible cache tag state at the end of the run (L1D then
+    /// L2) — the AMuLeT default adversary (§VII-B2).
+    pub cache_obs: Vec<u64>,
+    /// Committed instruction indices (tracing only).
+    pub committed_idxs: Vec<u32>,
+    /// Final architectural register values.
+    pub final_regs: [u64; Reg::COUNT],
+    /// Final rename-map protection bits (ProtISA's architectural
+    /// register ProtSet as tracked by hardware, §IV-C1).
+    pub final_reg_prot: [bool; Reg::COUNT],
+}
+
+/// One simulated out-of-order core.
+pub struct Core<'a> {
+    cfg: CoreConfig,
+    program: &'a Program,
+    policy: Box<dyn DefensePolicy>,
+
+    cycle: u64,
+    next_seq: Seq,
+    halted: Option<SimExit>,
+
+    // Front end.
+    fetch_idx: Option<u32>,
+    fetch_queue: VecDeque<FetchEntry>,
+    fetch_stalled_until: u64,
+    tage: TagePredictor,
+    btb: Btb,
+    rsb: Rsb,
+
+    // Rename.
+    rename_map: [usize; Reg::COUNT],
+    prot_map: [bool; Reg::COUNT],
+    free_list: VecDeque<usize>,
+
+    // Backend.
+    rob: VecDeque<DynInst>,
+    prf_value: Vec<u64>,
+    prf_done: Vec<bool>,
+    prf_ready: Vec<bool>,
+    tags: RegTags,
+    lq_used: usize,
+    sq_used: usize,
+    div_busy_until: u64,
+
+    // Memory.
+    mem: Memory,
+    l1d: Cache,
+    l1i: Cache,
+    l2: Cache,
+    l3: Cache,
+    shadow_unprot: HashSet<u64>,
+
+    // Results.
+    stats: Stats,
+    committed_regs: [u64; Reg::COUNT],
+    timing: Vec<[u64; 6]>,
+    committed_idxs: Vec<u32>,
+    record_traces: bool,
+    no_commit_cycles: u64,
+}
+
+const WATCHDOG_CYCLES: u64 = 100_000;
+
+impl<'a> Core<'a> {
+    /// Creates a core running `program` from `initial` architectural
+    /// state under the given defense policy.
+    pub fn new(
+        program: &'a Program,
+        cfg: CoreConfig,
+        policy: Box<dyn DefensePolicy>,
+        initial: &ArchState,
+    ) -> Core<'a> {
+        let n_phys = cfg.phys_regs.max(Reg::COUNT * 2);
+        let mut prf_value = vec![0u64; n_phys];
+        let mut rename_map = [0usize; Reg::COUNT];
+        for r in Reg::all() {
+            rename_map[r.index()] = r.index();
+            prf_value[r.index()] = initial.reg(r);
+        }
+        let meta_fill = policy.l1d_meta_fill();
+        let l1d = Cache::new(cfg.l1d, meta_fill);
+        let l1i = Cache::new(cfg.l1i, true);
+        let l2 = Cache::new(cfg.l2, true);
+        let l3 = Cache::new(cfg.l3, true);
+        let tags = RegTags::new(n_phys, Reg::COUNT);
+        Core {
+            fetch_idx: if program.is_empty() { None } else { Some(0) },
+            fetch_queue: VecDeque::new(),
+            fetch_stalled_until: 0,
+            tage: TagePredictor::new(),
+            btb: Btb::new(cfg.btb_entries),
+            rsb: Rsb::new(cfg.rsb_entries),
+            rename_map,
+            prot_map: [true; Reg::COUNT],
+            free_list: (Reg::COUNT..n_phys).collect(),
+            rob: VecDeque::with_capacity(cfg.rob_size),
+            prf_done: vec![true; n_phys],
+            prf_ready: vec![true; n_phys],
+            prf_value,
+            tags,
+            lq_used: 0,
+            sq_used: 0,
+            div_busy_until: 0,
+            mem: initial.mem.clone(),
+            l1d,
+            l1i,
+            l2,
+            l3,
+            shadow_unprot: HashSet::new(),
+            stats: Stats::default(),
+            committed_regs: std::array::from_fn(|i| initial.regs[i]),
+            timing: Vec::new(),
+            committed_idxs: Vec::new(),
+            record_traces: false,
+            cycle: 0,
+            next_seq: 1,
+            halted: None,
+            cfg,
+            program,
+            policy,
+            no_commit_cycles: 0,
+        }
+    }
+
+    /// Enables recording of the commit-timing trace and committed-index
+    /// trace (used by the fuzzer's adversary models).
+    pub fn record_traces(&mut self, on: bool) {
+        self.record_traces = on;
+    }
+
+    /// Replaces this core's L3 with a shared one (multi-core runs).
+    pub(crate) fn install_l3(&mut self, l3: Cache) {
+        self.l3 = l3;
+    }
+
+    /// Runs and hands back the (possibly shared) L3 alongside the result.
+    pub(crate) fn run_returning_l3(
+        mut self,
+        max_insts: u64,
+        max_cycles: u64,
+    ) -> (SimResult, Cache) {
+        let result = self.run_inner(max_insts, max_cycles);
+        let placeholder = Cache::new(self.cfg.l3, true);
+        let l3 = std::mem::replace(&mut self.l3, placeholder);
+        (result, l3)
+    }
+
+    /// The active defense policy.
+    pub fn policy(&self) -> &dyn DefensePolicy {
+        &*self.policy
+    }
+
+    /// Runs until halt or a limit; returns the result.
+    pub fn run(mut self, max_insts: u64, max_cycles: u64) -> SimResult {
+        self.run_inner(max_insts, max_cycles)
+    }
+
+    fn run_inner(&mut self, max_insts: u64, max_cycles: u64) -> SimResult {
+        while self.halted.is_none() {
+            if self.stats.committed >= max_insts {
+                self.halted = Some(SimExit::MaxInsts);
+                break;
+            }
+            if self.cycle >= max_cycles {
+                self.halted = Some(SimExit::MaxCycles);
+                break;
+            }
+            if self.no_commit_cycles > WATCHDOG_CYCLES {
+                self.debug_dump();
+                self.halted = Some(SimExit::Deadlock);
+                break;
+            }
+            self.tick();
+        }
+        let mut stats = std::mem::take(&mut self.stats);
+        stats.cycles = self.cycle;
+        stats.l1d_hits = self.l1d.hits;
+        stats.l1d_misses = self.l1d.misses;
+        stats.l2_hits = self.l2.hits;
+        stats.l2_misses = self.l2.misses;
+        stats.l3_hits = self.l3.hits;
+        stats.l3_misses = self.l3.misses;
+        stats.policy = self.policy.stats();
+        let mut cache_obs = self.l1d.tag_observation();
+        cache_obs.push(u64::MAX); // level separator
+        cache_obs.extend(self.l2.tag_observation());
+        SimResult {
+            exit: self.halted.unwrap(),
+            stats,
+            timing: std::mem::take(&mut self.timing),
+            cache_obs,
+            committed_idxs: std::mem::take(&mut self.committed_idxs),
+            final_regs: self.committed_regs,
+            final_reg_prot: self.prot_map,
+        }
+    }
+
+    /// Dumps backend state (watchdog diagnostics).
+    fn debug_dump(&self) {
+        eprintln!("--- deadlock dump @cycle {} ---", self.cycle);
+        eprintln!(
+            "fetch_idx={:?} fq={} free={} lq={} sq={}",
+            self.fetch_idx,
+            self.fetch_queue.len(),
+            self.free_list.len(),
+            self.lq_used,
+            self.sq_used
+        );
+        for u in self.rob.iter().take(8) {
+            let srcs: Vec<String> = u
+                .srcs
+                .iter()
+                .map(|(r, p)| format!("{r}=p{p}{}", if self.prf_ready[*p] { "+" } else { "-" }))
+                .collect();
+            eprintln!(
+                "  seq={} idx={} {:?} {} srcs={:?} mem={:?}",
+                u.seq,
+                u.idx,
+                u.status,
+                u.inst,
+                srcs,
+                u.mem.as_ref().map(|m| (m.addr, m.data_ready))
+            );
+        }
+    }
+
+    fn frontier(&self) -> SpecFrontier {
+        let head_seq = self.rob.front().map(|u| u.seq).unwrap_or(Seq::MAX);
+        let oldest_unresolved_branch = self
+            .rob
+            .iter()
+            .find(|u| u.inst.is_branch() && !u.resolved)
+            .map(|u| u.seq)
+            .unwrap_or(Seq::MAX);
+        SpecFrontier {
+            head_seq,
+            oldest_unresolved_branch,
+            model: self.cfg.speculation,
+        }
+    }
+
+    /// One cycle.
+    fn tick(&mut self) {
+        self.complete_and_wakeup();
+        self.capture_store_data();
+        self.resolve_branches();
+        self.commit();
+        self.issue();
+        self.rename();
+        self.fetch();
+        self.cycle += 1;
+        self.no_commit_cycles += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Completion & wakeup
+    // ------------------------------------------------------------------
+
+    fn complete_and_wakeup(&mut self) {
+        let fr = self.frontier();
+        let cycle = self.cycle;
+        for i in 0..self.rob.len() {
+            let u = &mut self.rob[i];
+            if let UopStatus::Executing(done) = u.status {
+                if done <= cycle {
+                    u.complete_cycle = cycle;
+                    // Stores without data keep waiting for their data
+                    // operand; everything else is done.
+                    let store_needs_data =
+                        u.mem.as_ref().is_some_and(|m| m.is_store && !m.data_ready);
+                    u.status = if store_needs_data {
+                        UopStatus::WaitingData
+                    } else {
+                        UopStatus::Done
+                    };
+                    // Write results to the PRF.
+                    for d in &u.dsts {
+                        self.prf_value[d.new_phys] = d.value;
+                        self.prf_done[d.new_phys] = true;
+                    }
+                }
+            }
+            let u = &self.rob[i];
+            if u.status == UopStatus::Done && !u.wakeup_done && !u.dsts.is_empty() {
+                if self.policy.may_wakeup(u, &self.tags, &fr) {
+                    let u = &mut self.rob[i];
+                    u.wakeup_done = true;
+                    for d in &u.dsts {
+                        self.prf_ready[d.new_phys] = true;
+                    }
+                } else {
+                    self.stats.wakeup_blocked_cycles += 1;
+                    if std::env::var_os("PROTEAN_DEBUG_BLOCKED").is_some() {
+                        let u = &self.rob[i];
+                        eprintln!(
+                            "wakeup-blocked idx={} {} mem_prot={:?}",
+                            u.idx, u.inst, u.mem_prot
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn capture_store_data(&mut self) {
+        for i in 0..self.rob.len() {
+            let u = &self.rob[i];
+            let needs = matches!(u.status, UopStatus::WaitingData)
+                || (u.is_store()
+                    && u.mem
+                        .as_ref()
+                        .is_some_and(|m| m.addr.is_some() && !m.data_ready));
+            if !needs {
+                continue;
+            }
+            // Find the data operand.
+            let (value, prot, yrot, taint, ready) = match u.inst.op {
+                Op::Store { src, .. } => match src {
+                    Operand::Imm(v) => (v, false, NO_ROOT, false, true),
+                    Operand::Reg(r) => {
+                        let p = u.src_phys(r);
+                        if self.prf_ready[p] {
+                            (
+                                self.prf_value[p],
+                                self.tags.prot[p],
+                                self.tags.yrot[p],
+                                self.tags.taint[p],
+                                true,
+                            )
+                        } else {
+                            (0, false, NO_ROOT, false, false)
+                        }
+                    }
+                },
+                // `call` stores its (public, constant) return address.
+                Op::Call { .. } => (self.program.pc_of(u.idx + 1), false, NO_ROOT, false, true),
+                _ => continue,
+            };
+            if ready {
+                let u = &mut self.rob[i];
+                let m = u.mem.as_mut().expect("store has mem state");
+                m.value = value;
+                m.data_prot = prot;
+                m.data_yrot = yrot;
+                m.data_taint = taint;
+                m.data_ready = true;
+                if matches!(u.status, UopStatus::WaitingData) {
+                    u.status = UopStatus::Done;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Branch resolution & squash
+    // ------------------------------------------------------------------
+
+    fn resolve_branches(&mut self) {
+        let fr = self.frontier();
+        // Candidates: executed, unresolved, mispredicted branches.
+        let buggy = self.policy.pending_squash_bug();
+        let mut chosen: Option<usize> = None;
+        for i in 0..self.rob.len() {
+            let u = &self.rob[i];
+            if !u.inst.is_branch() || u.resolved || u.actual_next.is_none() {
+                continue;
+            }
+            if !u.mispredicted {
+                continue;
+            }
+            if buggy {
+                // Buggy arbiter (§VII-B4b): only the oldest misprediction
+                // is considered, regardless of whether the defense allows
+                // it to resolve — an older protected branch blocks all
+                // younger squashes, leaking its predicate via timing.
+                if self.policy.may_resolve(u, &self.tags, &fr) {
+                    chosen = Some(i);
+                } else {
+                    self.stats.resolve_blocked_cycles += 1;
+                }
+                break;
+            }
+            if self.policy.may_resolve(u, &self.tags, &fr) {
+                chosen = Some(i);
+                break;
+            }
+            self.stats.resolve_blocked_cycles += 1;
+            // Fixed arbiter: keep scanning for a younger resolvable one.
+        }
+        if let Some(i) = chosen {
+            self.do_branch_squash(i);
+        }
+    }
+
+    fn do_branch_squash(&mut self, rob_index: usize) {
+        let (seq, actual_next, hist, rsb_snap, inst, idx, actual_taken) = {
+            let u = &mut self.rob[rob_index];
+            u.resolved = true;
+            (
+                u.seq,
+                u.actual_next.expect("branch executed"),
+                u.hist_snapshot,
+                u.rsb_snapshot.clone(),
+                u.inst,
+                u.idx,
+                u.actual_taken,
+            )
+        };
+        self.stats.branch_squashes += 1;
+        self.squash_younger_than(seq);
+        // Restore the front end to the branch's pre-fetch state, then
+        // re-apply its *actual* effect.
+        self.tage.restore_history(hist);
+        self.rsb.restore(rsb_snap);
+        match inst.op {
+            Op::Jcc { .. } => {
+                let h = self.tage.history();
+                self.tage.restore_history((h << 1) | actual_taken as u64);
+            }
+            Op::Call { .. } => self.rsb.push(self.program.pc_of(idx + 1)),
+            Op::Ret => {
+                let _ = self.rsb.pop();
+            }
+            _ => {}
+        }
+        self.fetch_idx = actual_next;
+        self.fetch_queue.clear();
+        self.fetch_stalled_until = self.cycle + self.cfg.redirect_penalty as u64;
+    }
+
+    /// Squashes every µop with `seq > surviving`, restoring the rename
+    /// map and protection map.
+    fn squash_younger_than(&mut self, surviving: Seq) {
+        while let Some(u) = self.rob.back() {
+            if u.seq <= surviving {
+                break;
+            }
+            let u = self.rob.pop_back().expect("checked non-empty");
+            self.stats.squashed += 1;
+            if u.is_load() {
+                self.lq_used -= 1;
+            }
+            if u.is_store() {
+                self.sq_used -= 1;
+            }
+            // Undo renames in reverse order.
+            for d in u.dsts.iter().rev() {
+                self.rename_map[d.arch.index()] = d.prev_phys;
+                self.prot_map[d.arch.index()] = d.prev_prot;
+                self.free_list.push_front(d.new_phys);
+                self.prf_done[d.new_phys] = false;
+                self.prf_ready[d.new_phys] = false;
+            }
+        }
+        self.policy.on_squash(surviving);
+    }
+
+    /// Squash used by memory-order violations and division machine
+    /// clears: restores the front end from the first squashed µop's
+    /// snapshot.
+    fn squash_and_refetch(&mut self, surviving: Seq, refetch: Option<u32>, kind: SquashKind) {
+        // Find the first squashed entry's snapshot before popping.
+        let snap = self
+            .rob
+            .iter()
+            .find(|u| u.seq > surviving)
+            .map(|u| (u.hist_snapshot, u.rsb_snapshot.clone()))
+            .or_else(|| {
+                self.fetch_queue
+                    .front()
+                    .map(|f| (f.hist_snapshot, f.rsb_snapshot.clone()))
+            });
+        self.squash_younger_than(surviving);
+        if let Some((h, r)) = snap {
+            self.tage.restore_history(h);
+            self.rsb.restore(r);
+        }
+        self.fetch_idx = refetch;
+        self.fetch_queue.clear();
+        self.fetch_stalled_until = self.cycle + self.cfg.redirect_penalty as u64;
+        match kind {
+            SquashKind::MemOrder => self.stats.memorder_squashes += 1,
+            SquashKind::DivFault => self.stats.divfault_squashes += 1,
+            SquashKind::Branch => self.stats.branch_squashes += 1,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { return };
+            if head.status != UopStatus::Done {
+                return;
+            }
+            if head.mispredicted && !head.resolved {
+                // The resolution pass will handle it (it is always
+                // allowed once non-speculative).
+                return;
+            }
+            let u = self.rob.pop_front().expect("head exists");
+            self.no_commit_cycles = 0;
+            self.stats.committed += 1;
+            if u.is_load() {
+                self.lq_used -= 1;
+                self.stats.loads += 1;
+            }
+            if u.is_store() {
+                self.sq_used -= 1;
+                self.stats.stores += 1;
+            }
+            if u.inst.is_cond_branch() || u.inst.is_indirect_branch() {
+                self.stats.branches += 1;
+                if u.mispredicted {
+                    self.stats.mispredicts += 1;
+                }
+            }
+            // Predictor training at commit (clean, non-transient state).
+            match u.inst.op {
+                Op::Jcc { .. } => self.tage.update(u.pc, u.pred_taken, u.actual_taken),
+                Op::JmpReg { .. } | Op::Ret => {
+                    if let Some(Some(t)) = u.actual_next {
+                        self.btb.update(u.pc, self.program.pc_of(t));
+                    }
+                }
+                _ => {}
+            }
+            // Stores write committed state.
+            if let Some(m) = &u.mem {
+                if m.is_store {
+                    let addr = m.addr.expect("committed store has address");
+                    self.mem.write(addr, m.size, m.value);
+                    self.mem_access_for_timing(addr);
+                    if self.policy.uses_protisa() {
+                        self.update_mem_prot_on_store(addr, m.size, m.data_prot);
+                    }
+                } else if self.policy.uses_protisa() && !u.prot_out {
+                    // Loads with unprotected outputs clear the protection
+                    // of the accessed bytes at commit (§IV-C2b).
+                    let addr = m.addr.expect("committed load has address");
+                    self.update_mem_prot_on_load_commit(addr, m.size);
+                }
+            }
+            // Architectural register state. Committed values are always
+            // readable (any defense wakeup-delay ends at non-speculation,
+            // and commit is past that), so publish them even if the
+            // wakeup pass never ran this µop.
+            for d in &u.dsts {
+                self.committed_regs[d.arch.index()] = d.value;
+                self.prf_done[d.new_phys] = true;
+                self.prf_ready[d.new_phys] = true;
+                // Free the previous mapping.
+                self.free_list.push_back(d.prev_phys);
+            }
+            self.policy.on_commit(&u, &mut self.tags, &mut self.l1d);
+            if self.record_traces {
+                self.timing.push([
+                    u.pc,
+                    u.fetch_cycle,
+                    u.rename_cycle,
+                    u.issue_cycle,
+                    u.complete_cycle,
+                    self.cycle,
+                ]);
+                self.committed_idxs.push(u.idx);
+            }
+            // Machine ends / machine clears.
+            match u.inst.op {
+                Op::Halt => {
+                    self.halted = Some(SimExit::Halted);
+                    return;
+                }
+                Op::JmpReg { .. } | Op::Ret if u.actual_next == Some(None) => {
+                    self.halted = Some(SimExit::BadControlFlow);
+                    return;
+                }
+                _ => {}
+            }
+            if u.div_fault {
+                // Division fault: machine clear (squash younger, refetch
+                // the next instruction) — the conditional flush is the
+                // divider's timing channel (§VII-B4b).
+                self.squash_and_refetch(u.seq, Some(u.idx + 1), SquashKind::DivFault);
+                return;
+            }
+        }
+    }
+
+    fn update_mem_prot_on_store(&mut self, addr: u64, size: u64, prot: bool) {
+        match self.cfg.mem_prot {
+            MemProtTracking::None => {}
+            MemProtTracking::TaggedL1d => self.l1d.meta_set(addr, size, prot),
+            MemProtTracking::PerfectShadow => {
+                for i in 0..size {
+                    let a = addr.wrapping_add(i);
+                    if prot {
+                        self.shadow_unprot.remove(&a);
+                    } else {
+                        self.shadow_unprot.insert(a);
+                    }
+                }
+            }
+        }
+    }
+
+    fn update_mem_prot_on_load_commit(&mut self, addr: u64, size: u64) {
+        match self.cfg.mem_prot {
+            MemProtTracking::None => {}
+            MemProtTracking::TaggedL1d => self.l1d.meta_set(addr, size, false),
+            MemProtTracking::PerfectShadow => {
+                for i in 0..size {
+                    self.shadow_unprot.insert(addr.wrapping_add(i));
+                }
+            }
+        }
+    }
+
+    fn mem_prot_of(&self, addr: u64, size: u64) -> bool {
+        match self.cfg.mem_prot {
+            MemProtTracking::None => true,
+            MemProtTracking::TaggedL1d => self.l1d.meta_any(addr, size),
+            MemProtTracking::PerfectShadow => {
+                (0..size).any(|i| !self.shadow_unprot.contains(&addr.wrapping_add(i)))
+            }
+        }
+    }
+
+    /// Walks the cache hierarchy for timing; returns the access latency.
+    fn mem_access_for_timing(&mut self, addr: u64) -> u32 {
+        let l1 = self.l1d.access(addr);
+        if l1.hit {
+            return self.cfg.l1d.latency;
+        }
+        let l2 = self.l2.access(addr);
+        if l2.hit {
+            return self.cfg.l2.latency;
+        }
+        let l3 = self.l3.access(addr);
+        if l3.hit {
+            return self.cfg.l3.latency;
+        }
+        self.cfg.mem_latency
+    }
+
+    // ------------------------------------------------------------------
+    // Issue & execute
+    // ------------------------------------------------------------------
+
+    fn issue(&mut self) {
+        let fr = self.frontier();
+        let mut alu_slots = self.cfg.alu_ports;
+        let mut mem_slots = self.cfg.mem_ports;
+        let mut issued = 0usize;
+        let mut window = 0usize;
+        let mut pending_violation: Option<(Seq, u32)> = None;
+
+        for i in 0..self.rob.len() {
+            if issued >= self.cfg.issue_width || (alu_slots == 0 && mem_slots == 0) {
+                break;
+            }
+            if self.rob[i].status != UopStatus::Waiting {
+                continue;
+            }
+            window += 1;
+            if window > self.cfg.iq_size {
+                break;
+            }
+            // Operand readiness. Stores only need their address operands
+            // (their data is captured later, like a split STA/STD pair) —
+            // unless the data register doubles as an address register.
+            let ready = {
+                let u = &self.rob[i];
+                let addr_regs = u.inst.address_regs();
+                let data_reg = match u.inst.op {
+                    Op::Store {
+                        src: Operand::Reg(r),
+                        ..
+                    } => Some(r),
+                    _ => None,
+                };
+                u.srcs.iter().all(|(r, p)| {
+                    self.prf_ready[*p]
+                        || (u.is_store() && Some(*r) == data_reg && !addr_regs.contains(*r))
+                })
+            };
+            if !ready {
+                continue;
+            }
+            // Port availability.
+            let is_mem = self.rob[i].inst.is_mem();
+            if is_mem && mem_slots == 0 {
+                continue;
+            }
+            if !is_mem && alu_slots == 0 {
+                continue;
+            }
+            // Divider occupancy.
+            if self.rob[i].inst.is_div() && self.div_busy_until > self.cycle {
+                continue;
+            }
+            // Defense gate.
+            if !self.policy.may_execute(&self.rob[i], &self.tags, &fr) {
+                self.stats.exec_blocked_cycles += 1;
+                if std::env::var_os("PROTEAN_DEBUG_BLOCKED").is_some() {
+                    let u = &self.rob[i];
+                    eprintln!(
+                        "blocked idx={} {} seq={} sens_prot={} yrot_in={}",
+                        u.idx, u.inst, u.seq, u.sens_prot, u.in_yrot
+                    );
+                }
+                continue;
+            }
+            // Execute (false = blocked, e.g. a partial store overlap).
+            if self.execute_uop(i, &mut pending_violation) {
+                issued += 1;
+                if is_mem {
+                    mem_slots -= 1;
+                } else {
+                    alu_slots -= 1;
+                }
+            }
+        }
+
+        if let Some((surviving, refetch_idx)) = pending_violation {
+            self.squash_and_refetch(surviving, Some(refetch_idx), SquashKind::MemOrder);
+        }
+    }
+
+    fn src_val(&self, u: &DynInst, reg: Reg) -> u64 {
+        self.prf_value[u.src_phys(reg)]
+    }
+
+    fn operand_val(&self, u: &DynInst, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.src_val(u, r),
+            Operand::Imm(v) => v,
+        }
+    }
+
+    /// Executes the µop at ROB index `i`. Returns `false` if it could not
+    /// issue (memory structural conflict).
+    fn execute_uop(&mut self, i: usize, pending_violation: &mut Option<(Seq, u32)>) -> bool {
+        let cycle = self.cycle;
+        let u = &self.rob[i];
+        let inst = u.inst;
+        let mut latency = 1u32;
+        let mut dst_values: Vec<u64> = Vec::with_capacity(u.dsts.len());
+        let mut actual_next: Option<Option<u32>> = None;
+        let mut actual_taken = false;
+        let mut div_fault = false;
+
+        match inst.op {
+            Op::MovImm { dst, imm, width } => {
+                let old = if width.is_partial() {
+                    self.src_val(u, dst)
+                } else {
+                    0
+                };
+                dst_values.push(width.apply(old, imm));
+            }
+            Op::Mov { dst, src, width } => {
+                let old = if width.is_partial() {
+                    self.src_val(u, dst)
+                } else {
+                    0
+                };
+                dst_values.push(width.apply(old, self.src_val(u, src)));
+            }
+            Op::CMov { cond, dst, src } => {
+                let flags = Flags::from_bits(self.src_val(u, Reg::RFLAGS));
+                dst_values.push(if cond.eval(flags) {
+                    self.src_val(u, src)
+                } else {
+                    self.src_val(u, dst)
+                });
+            }
+            Op::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+                width,
+            } => {
+                let a = self.src_val(u, src1);
+                let b = self.operand_val(u, src2);
+                let old = if width.is_partial() {
+                    self.src_val(u, dst)
+                } else {
+                    0
+                };
+                let (v, f) = alu_eval(op, a, b, width, old);
+                dst_values.push(v);
+                dst_values.push(f.to_bits());
+                if op == protean_isa::AluOp::Mul {
+                    latency = self.cfg.mul_latency;
+                }
+            }
+            Op::Cmp { src1, src2 } => {
+                let a = self.src_val(u, src1);
+                let b = self.operand_val(u, src2);
+                dst_values.push(Flags::from_sub(a, b).to_bits());
+            }
+            Op::Div { src1, src2, .. } => {
+                let a = self.src_val(u, src1);
+                let b = self.src_val(u, src2);
+                let o = div_eval(a, b);
+                dst_values.push(o.quotient);
+                latency = o.latency;
+                self.div_busy_until = cycle + o.latency as u64;
+                div_fault = o.faulted;
+            }
+            Op::Load { addr, size, .. } => {
+                let ea = addr.effective_address(|r| self.src_val(u, r));
+                return self.execute_load(i, ea, size.bytes(), cycle);
+            }
+            Op::Ret => {
+                let rsp = self.src_val(u, Reg::RSP);
+                return self.execute_load(i, rsp, 8, cycle);
+            }
+            Op::Store { addr, size, .. } => {
+                let ea = addr.effective_address(|r| self.src_val(u, r));
+                return self.execute_store(i, ea, size.bytes(), cycle, pending_violation);
+            }
+            Op::Call { .. } => {
+                let rsp = self.src_val(u, Reg::RSP).wrapping_sub(8);
+                let ok = self.execute_store(i, rsp, 8, cycle, pending_violation);
+                if ok {
+                    let u = &mut self.rob[i];
+                    u.dsts[0].value = rsp;
+                    // A call's target is static: never mispredicted.
+                    u.actual_next = Some(u.pred_next);
+                    u.resolved = true;
+                }
+                return ok;
+            }
+            Op::Jmp { target } => {
+                actual_next = Some(Some(target));
+            }
+            Op::Jcc { cond, target } => {
+                let flags = Flags::from_bits(self.src_val(u, Reg::RFLAGS));
+                actual_taken = cond.eval(flags);
+                actual_next = Some(Some(if actual_taken { target } else { u.idx + 1 }));
+            }
+            Op::JmpReg { src } => {
+                let t = self.src_val(u, src);
+                actual_next = Some(self.program.index_of_pc(t));
+            }
+            Op::Nop | Op::Halt => {}
+        }
+
+        let u = &mut self.rob[i];
+        u.status = UopStatus::Executing(cycle + latency as u64);
+        u.issue_cycle = cycle;
+        u.div_fault = div_fault;
+        for (d, v) in u.dsts.iter_mut().zip(dst_values) {
+            d.value = v;
+        }
+        if let Some(an) = actual_next {
+            u.actual_taken = actual_taken;
+            u.actual_next = Some(an);
+            u.mispredicted = an != u.pred_next;
+            if !u.mispredicted {
+                u.resolved = true;
+            }
+        }
+        true
+    }
+
+    /// Executes a load: store-queue search, forwarding, cache access.
+    /// Returns `false` if it must retry later (partial overlap / data not
+    /// ready).
+    fn execute_load(&mut self, i: usize, addr: u64, size: u64, cycle: u64) -> bool {
+        let seq = self.rob[i].seq;
+        // Search older stores, youngest first.
+        let mut fwd: Option<(u64, bool, Seq, bool, Seq)> = None;
+        for j in (0..i).rev() {
+            let s = &self.rob[j];
+            if !s.is_store() || s.seq >= seq {
+                continue;
+            }
+            let Some(m) = &s.mem else { continue };
+            let Some(s_addr) = m.addr else { continue }; // unknown addr: speculate past
+            let s_end = s_addr + m.size;
+            let l_end = addr + size;
+            if s_end <= addr || l_end <= s_addr {
+                continue; // no overlap
+            }
+            // Overlap with the youngest older store.
+            if s_addr <= addr && s_end >= l_end && m.data_ready {
+                let shift = 8 * (addr - s_addr);
+                let mask = if size == 8 {
+                    u64::MAX
+                } else {
+                    (1u64 << (8 * size)) - 1
+                };
+                fwd = Some((
+                    (m.value >> shift) & mask,
+                    m.data_prot,
+                    m.data_yrot,
+                    m.data_taint,
+                    s.seq,
+                ));
+                break;
+            }
+            // Partial overlap or data not ready: cannot issue yet.
+            return false;
+        }
+
+        let (value, latency, mem_prot, fwd_info) = match fwd {
+            Some((v, prot, yrot, taint, s_seq)) => {
+                self.stats.forwards += 1;
+                (v, 2u32, prot, Some((s_seq, yrot, taint)))
+            }
+            None => {
+                let latency = 1 + self.mem_access_for_timing(addr);
+                let v = self.mem.read(addr, size);
+                let prot = self.mem_prot_of(addr, size);
+                (v, latency, prot, None)
+            }
+        };
+
+        let uses_protisa = self.policy.uses_protisa();
+        let u = &mut self.rob[i];
+        u.status = UopStatus::Executing(cycle + latency as u64);
+        u.issue_cycle = cycle;
+        let m = u.mem.as_mut().expect("load has mem state");
+        m.addr = Some(addr);
+        m.value = value;
+        if let Some((s_seq, yrot, taint)) = fwd_info {
+            m.fwd_from = Some(s_seq);
+            m.fwd_data_yrot = yrot;
+            m.fwd_data_taint = taint;
+        }
+        if uses_protisa {
+            u.mem_prot = Some(mem_prot);
+        }
+        // Destination values: Load writes dst; Ret writes RSP.
+        match u.inst.op {
+            Op::Load { .. } => {
+                u.dsts[0].value = value; // zero-extended
+            }
+            Op::Ret => {
+                u.dsts[0].value = addr.wrapping_add(8);
+                // Resolve the indirect target against the prediction.
+                let target = self.program.index_of_pc(value);
+                u.actual_next = Some(target);
+                u.mispredicted = target != u.pred_next;
+                if !u.mispredicted {
+                    u.resolved = true;
+                }
+            }
+            _ => unreachable!("execute_load on non-load"),
+        }
+        // Policy hook (access predictor resolution, taint from memory).
+        let mut u = self.rob[i].clone();
+        self.policy.on_load_data(&mut u, &mut self.tags, &self.l1d);
+        self.rob[i] = u;
+        true
+    }
+
+    /// Executes a store's address phase; detects memory-order violations.
+    fn execute_store(
+        &mut self,
+        i: usize,
+        addr: u64,
+        size: u64,
+        cycle: u64,
+        pending_violation: &mut Option<(Seq, u32)>,
+    ) -> bool {
+        let seq = self.rob[i].seq;
+        // Memory-order violation: any younger load that already executed
+        // and overlaps (and did not forward from this or a younger store).
+        for j in i + 1..self.rob.len() {
+            let l = &self.rob[j];
+            if !l.is_load() || l.seq <= seq {
+                continue;
+            }
+            let Some(m) = &l.mem else { continue };
+            let Some(l_addr) = m.addr else { continue };
+            let l_end = l_addr + m.size;
+            let s_end = addr + size;
+            if s_end <= l_addr || l_end <= addr {
+                continue;
+            }
+            if let Some(f) = m.fwd_from {
+                if f >= seq {
+                    continue; // forwarded from this store or a younger one
+                }
+            }
+            // Violation: squash from the load (inclusive).
+            let candidate = (l.seq - 1, l.idx);
+            if pending_violation.is_none_or(|(s, _)| candidate.0 < s) {
+                *pending_violation = Some(candidate);
+            }
+            break;
+        }
+        let u = &mut self.rob[i];
+        u.status = UopStatus::Executing(cycle + 1);
+        u.issue_cycle = cycle;
+        let m = u.mem.as_mut().expect("store has mem state");
+        m.addr = Some(addr);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Rename
+    // ------------------------------------------------------------------
+
+    fn rename(&mut self) {
+        for _ in 0..self.cfg.fetch_width {
+            let Some(front) = self.fetch_queue.front() else {
+                return;
+            };
+            if front.ready_cycle > self.cycle {
+                return;
+            }
+            if self.rob.len() >= self.cfg.rob_size {
+                return;
+            }
+            let inst = self.program.insts[front.idx as usize];
+            if inst.is_load() && self.lq_used >= self.cfg.lq_size {
+                return;
+            }
+            if inst.is_store() && self.sq_used >= self.cfg.sq_size {
+                return;
+            }
+            let n_dsts = inst.dst_regs().len();
+            if self.free_list.len() < n_dsts {
+                return;
+            }
+            let front = self.fetch_queue.pop_front().expect("checked above");
+            let idx = front.idx;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+
+            // Sources first (they read the pre-update rename map).
+            let srcs: Vec<(Reg, usize)> = inst
+                .src_regs()
+                .iter()
+                .map(|r| (r, self.rename_map[r.index()]))
+                .collect();
+            let src_prot = srcs.iter().any(|(_, p)| self.tags.prot[*p]);
+            let sens_arch = self.policy.transmitters().sensitive_regs(&inst);
+            let sens_prot = srcs
+                .iter()
+                .any(|(r, p)| sens_arch.contains(*r) && self.tags.prot[*p]);
+
+            // Destinations: allocate and update maps.
+            let width = inst.write_width().unwrap_or(Width::W64);
+            let mut dsts = Vec::with_capacity(n_dsts);
+            for r in inst.dst_regs().iter() {
+                let new_phys = self.free_list.pop_front().expect("checked space");
+                let prev_phys = self.rename_map[r.index()];
+                let prev_prot = self.prot_map[r.index()];
+                self.rename_map[r.index()] = new_phys;
+                // ProtISA rename-map protection update (§IV-C1): PROT
+                // protects; unprefixed full-width writes unprotect;
+                // unprefixed partial writes leave the bit unchanged.
+                let new_prot = if inst.prot {
+                    true
+                } else if width.is_partial() && r == inst.explicit_dst().unwrap_or(r) {
+                    prev_prot
+                } else {
+                    false
+                };
+                self.prot_map[r.index()] = new_prot;
+                self.tags.prot[new_phys] = new_prot;
+                self.tags.taint[new_phys] = false;
+                self.tags.yrot[new_phys] = NO_ROOT;
+                self.prf_done[new_phys] = false;
+                self.prf_ready[new_phys] = false;
+                dsts.push(DstInfo {
+                    arch: r,
+                    new_phys,
+                    prev_phys,
+                    prev_prot,
+                    value: 0,
+                });
+            }
+
+            if inst.is_load() {
+                self.lq_used += 1;
+            }
+            if inst.is_store() {
+                self.sq_used += 1;
+            }
+
+            let mem = if inst.is_mem() {
+                Some(MemState {
+                    addr: None,
+                    size: inst.mem_size().unwrap_or(8),
+                    is_store: inst.is_store(),
+                    value: 0,
+                    data_ready: false,
+                    data_prot: false,
+                    data_yrot: NO_ROOT,
+                    data_taint: false,
+                    fwd_from: None,
+                    fwd_data_yrot: NO_ROOT,
+                    fwd_data_taint: false,
+                })
+            } else {
+                None
+            };
+
+            let mut u = DynInst {
+                seq,
+                idx,
+                pc: self.program.pc_of(idx),
+                inst,
+                srcs,
+                dsts,
+                status: UopStatus::Waiting,
+                mem,
+                pred_next: front.pred_next,
+                pred_taken: front.pred_taken,
+                actual_next: None,
+                actual_taken: false,
+                mispredicted: false,
+                resolved: false,
+                wakeup_done: false,
+                hist_snapshot: front.hist_snapshot,
+                rsb_snapshot: front.rsb_snapshot,
+                prot_out: inst.prot,
+                src_prot,
+                sens_prot,
+                mem_prot: None,
+                in_taint: false,
+                in_yrot: NO_ROOT,
+                delay_wakeup_nonspec: false,
+                wakeup_hold_root: NO_ROOT,
+                pred_no_access: None,
+                div_fault: false,
+                fetch_cycle: front.ready_cycle - self.cfg.frontend_depth as u64,
+                rename_cycle: self.cycle,
+                issue_cycle: 0,
+                complete_cycle: 0,
+            };
+            self.policy.on_rename(&mut u, &mut self.tags);
+            // Nop/Halt and direct jumps execute trivially.
+            self.rob.push_back(u);
+            self.stats.fetched += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn fetch(&mut self) {
+        if self.cycle < self.fetch_stalled_until {
+            return;
+        }
+        let cap = self.cfg.fetch_width * 3;
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetch_queue.len() >= cap {
+                return;
+            }
+            let Some(idx) = self.fetch_idx else { return };
+            if idx as usize >= self.program.len() {
+                self.fetch_idx = None;
+                return;
+            }
+            let inst = self.program.insts[idx as usize];
+            let pc = self.program.pc_of(idx);
+            // Instruction-cache access: a miss stalls the front end for
+            // the L2 hit latency (instruction lines are L2-resident for
+            // our workload sizes; the line is filled either way).
+            if !self.l1i.probe(pc) {
+                self.l1i.access(pc);
+                self.fetch_stalled_until = self.cycle + self.cfg.l2.latency as u64;
+                return;
+            }
+            self.l1i.access(pc);
+            let hist_snapshot = self.tage.history();
+            let rsb_snapshot = self.rsb.snapshot();
+            let mut pred_taken = false;
+            let pred_next: Option<u32> = match inst.op {
+                Op::Jmp { target } => Some(target),
+                Op::Call { target } => {
+                    self.rsb.push(self.program.pc_of(idx + 1));
+                    Some(target)
+                }
+                Op::Jcc { target, .. } => {
+                    pred_taken = self.tage.predict(pc);
+                    let h = self.tage.history();
+                    self.tage.restore_history((h << 1) | pred_taken as u64);
+                    Some(if pred_taken { target } else { idx + 1 })
+                }
+                Op::Ret => match self.rsb.pop() {
+                    Some(ret_pc) => self.program.index_of_pc(ret_pc),
+                    None => self
+                        .btb
+                        .lookup(pc)
+                        .and_then(|t| self.program.index_of_pc(t)),
+                },
+                Op::JmpReg { .. } => self
+                    .btb
+                    .lookup(pc)
+                    .and_then(|t| self.program.index_of_pc(t)),
+                Op::Halt => None,
+                _ => Some(idx + 1),
+            };
+            self.fetch_queue.push_back(FetchEntry {
+                idx,
+                pred_next,
+                pred_taken,
+                hist_snapshot,
+                rsb_snapshot,
+                ready_cycle: self.cycle + self.cfg.frontend_depth as u64,
+            });
+            self.fetch_idx = pred_next;
+            // Stop the fetch group after a taken control transfer.
+            if pred_next != Some(idx + 1) {
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Differential correctness: the out-of-order pipeline must commit
+//! exactly the instruction stream the sequential emulator executes, with
+//! identical final architectural state — under every defense policy
+//! (defenses change timing, never architectural results).
+
+use protean_arch::{ArchState, Emulator, ExitStatus};
+use protean_isa::{assemble, Mem, Program, ProgramBuilder, Reg};
+use protean_sim::{Core, CoreConfig, DefensePolicy, SimExit, UnsafePolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn run_both(prog: &Program, init: &ArchState, cfg: CoreConfig) {
+    run_both_with(prog, init, cfg, Box::new(UnsafePolicy));
+}
+
+fn run_both_with(
+    prog: &Program,
+    init: &ArchState,
+    cfg: CoreConfig,
+    policy: Box<dyn DefensePolicy>,
+) {
+    let mut emu = Emulator::new(prog, init.clone());
+    let (status, records) = emu.run(200_000);
+    assert_eq!(status, ExitStatus::Halted, "emulator must halt");
+
+    let mut core = Core::new(prog, cfg, policy, init);
+    core.record_traces(true);
+    let result = core.run(300_000, 3_000_000);
+    assert_eq!(result.exit, SimExit::Halted, "pipeline must halt");
+
+    // Same committed instruction sequence.
+    let emu_idxs: Vec<u32> = records.iter().map(|r| r.idx).collect();
+    assert_eq!(
+        result.committed_idxs, emu_idxs,
+        "committed instruction streams diverge"
+    );
+    // Same final architectural registers.
+    for r in Reg::all() {
+        assert_eq!(
+            result.final_regs[r.index()],
+            emu.state.reg(r),
+            "final value of {r} diverges"
+        );
+    }
+}
+
+#[test]
+fn straight_line_arithmetic() {
+    let prog = assemble(
+        r#"
+        mov r0, 10
+        mov r1, 3
+        add r2, r0, r1
+        mul r3, r2, r2
+        sub r4, r3, 19
+        div r5, r4, r1
+        xor r6, r5, 0xff
+        halt
+        "#,
+    )
+    .unwrap();
+    run_both(&prog, &ArchState::new(), CoreConfig::test_tiny());
+}
+
+#[test]
+fn loop_with_memory() {
+    // Sum an array of 64 elements.
+    let prog = assemble(
+        r#"
+          mov r0, 0x10000   ; base
+          mov r1, 0         ; i
+          mov r2, 0         ; sum
+        loop:
+          load r3, [r0 + r1*8]
+          add r2, r2, r3
+          add r1, r1, 1
+          cmp r1, 64
+          jlt loop
+          store [r0 - 8], r2
+          halt
+        "#,
+    )
+    .unwrap();
+    let mut init = ArchState::new();
+    for i in 0..64u64 {
+        init.mem.write(0x10000 + i * 8, 8, i * i);
+    }
+    run_both(&prog, &init, CoreConfig::test_tiny());
+}
+
+#[test]
+fn call_ret_nesting() {
+    let prog = assemble(
+        r#"
+          mov rsp, 0x80000
+          mov r0, 0
+          call f1
+          add r0, r0, 1000
+          halt
+        f1:
+          add r0, r0, 1
+          call f2
+          add r0, r0, 10
+          ret
+        f2:
+          add r0, r0, 100
+          ret
+        "#,
+    )
+    .unwrap();
+    run_both(&prog, &ArchState::new(), CoreConfig::test_tiny());
+}
+
+#[test]
+fn store_load_aliasing_memory_order() {
+    // A store whose address arrives late, with younger loads to the same
+    // address: forces memory-order violations and squashes, but the
+    // committed result must be correct.
+    let prog = assemble(
+        r#"
+          mov r0, 0x20000
+          mov r1, 1
+        loop:
+          mul r2, r1, 8       ; slow-ish address computation
+          add r2, r2, r0
+          and r2, r2, 0xfff8  ; alias everything into a small window
+          store [r2], r1
+          load r3, [r0 + 8]   ; frequently aliases the store
+          add r4, r4, r3
+          add r1, r1, 1
+          cmp r1, 40
+          jlt loop
+          store [r0], r4
+          halt
+        "#,
+    )
+    .unwrap();
+    run_both(&prog, &ArchState::new(), CoreConfig::test_tiny());
+}
+
+#[test]
+fn partial_width_and_cmov() {
+    let prog = assemble(
+        r#"
+          mov r0, 0xffffffffffffffff
+          mov.b r0, 0x12
+          mov.h r1, 0x3456
+          mov.w r2, 0xdeadbeefcafebabe
+          cmp r0, r1
+          cmov.ult r3, r0
+          cmov.uge r3, r1
+          add.b r4, r0, r1
+          halt
+        "#,
+    )
+    .unwrap();
+    run_both(&prog, &ArchState::new(), CoreConfig::test_tiny());
+}
+
+#[test]
+fn div_by_zero_machine_clear() {
+    let prog = assemble(
+        r#"
+          mov r0, 100
+          mov r1, 0
+          div r2, r0, r1     ; faults (suppressed): machine clear at commit
+          add r3, r2, 1
+          mov r4, 7
+          div r5, r0, r4
+          halt
+        "#,
+    )
+    .unwrap();
+    run_both(&prog, &ArchState::new(), CoreConfig::test_tiny());
+}
+
+#[test]
+fn indirect_jump_via_table() {
+    let mut b = ProgramBuilder::new();
+    let case1 = b.label("case1");
+    let done = b.label("done");
+    // Compute target PC of case1 into r1, jump through register.
+    b.mov_imm(Reg::R1, 0); // patched below via pc arithmetic
+    b.jmpreg(Reg::R1);
+    b.bind(case1);
+    b.mov_imm(Reg::R2, 42);
+    b.jmp(done);
+    b.bind(done);
+    b.halt();
+    let mut prog = b.build().unwrap();
+    // Patch: r1 = pc_of(case1) = pc_of(2).
+    let pc = prog.pc_of(2);
+    prog.insts[0] = protean_isa::Inst::new(protean_isa::Op::MovImm {
+        dst: Reg::R1,
+        imm: pc,
+        width: protean_isa::Width::W64,
+    });
+    run_both(&prog, &ArchState::new(), CoreConfig::test_tiny());
+}
+
+#[test]
+fn mispredicted_branches_flush_correctly() {
+    // A data-dependent branch pattern the predictor cannot learn.
+    let prog = assemble(
+        r#"
+          mov r0, 0x30000
+          mov r1, 0          ; i
+          mov r2, 0          ; acc
+        loop:
+          load r3, [r0 + r1*8]
+          cmp r3, 0
+          jeq skip
+          add r2, r2, r3
+          jmp next
+        skip:
+          add r2, r2, 1
+        next:
+          add r1, r1, 1
+          cmp r1, 100
+          jlt loop
+          halt
+        "#,
+    )
+    .unwrap();
+    let mut init = ArchState::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..100u64 {
+        let v: u64 = if rng.gen_bool(0.5) {
+            0
+        } else {
+            rng.gen_range(1..100)
+        };
+        init.mem.write(0x30000 + i * 8, 8, v);
+    }
+    run_both(&prog, &init, CoreConfig::test_tiny());
+}
+
+#[test]
+fn p_core_and_e_core_run_correctly() {
+    let prog = assemble(
+        r#"
+          mov r0, 0
+          mov r1, 0x40000
+        loop:
+          store [r1 + r0*8], r0
+          load r2, [r1 + r0*8]
+          add r3, r3, r2
+          add r0, r0, 1
+          cmp r0, 50
+          jlt loop
+          halt
+        "#,
+    )
+    .unwrap();
+    run_both(&prog, &ArchState::new(), CoreConfig::p_core());
+    run_both(&prog, &ArchState::new(), CoreConfig::e_core());
+}
+
+/// Random structured programs: straight-line blocks, bounded loops,
+/// loads/stores in a data window, calls, divisions.
+fn random_program(seed: u64) -> (Program, ArchState) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new();
+    let data_base = 0x50000u64;
+    b.mov_imm(Reg::RSP, 0x80000);
+    // Seed registers.
+    for i in 0..8 {
+        b.mov_imm(Reg::gpr(i), rng.gen_range(0..1_000_000));
+    }
+    let n_blocks = rng.gen_range(2..6);
+    for _ in 0..n_blocks {
+        // A bounded loop.
+        let counter = Reg::R12;
+        let iters = rng.gen_range(1..20u64);
+        b.mov_imm(counter, 0);
+        let top = b.here("top");
+        let n_body = rng.gen_range(3..10);
+        for _ in 0..n_body {
+            match rng.gen_range(0..10) {
+                0..=3 => {
+                    let op = protean_isa::AluOp::ALL[rng.gen_range(0..11)];
+                    let dst = Reg::gpr(rng.gen_range(0..8));
+                    let s1 = Reg::gpr(rng.gen_range(0..8));
+                    if rng.gen_bool(0.5) {
+                        b.alu(op, dst, s1, Reg::gpr(rng.gen_range(0..8)));
+                    } else {
+                        b.alu(op, dst, s1, rng.gen_range(0..256u64));
+                    }
+                }
+                4..=5 => {
+                    // Load from the data window.
+                    let dst = Reg::gpr(rng.gen_range(0..8));
+                    let idx = Reg::gpr(rng.gen_range(0..8));
+                    b.and(Reg::R13, idx, 0xff8);
+                    b.load(dst, Mem::abs(data_base).with_index(Reg::R13, 1));
+                }
+                6..=7 => {
+                    let src = Reg::gpr(rng.gen_range(0..8));
+                    let idx = Reg::gpr(rng.gen_range(0..8));
+                    b.and(Reg::R13, idx, 0xff8);
+                    b.store(Mem::abs(data_base).with_index(Reg::R13, 1), src);
+                }
+                8 => {
+                    let dst = Reg::gpr(rng.gen_range(0..8));
+                    let s1 = Reg::gpr(rng.gen_range(0..8));
+                    let s2 = Reg::gpr(rng.gen_range(0..8));
+                    b.div(dst, s1, s2);
+                }
+                _ => {
+                    // Data-dependent conditional skip.
+                    let skip = b.label("skip");
+                    b.cmp(Reg::gpr(rng.gen_range(0..8)), rng.gen_range(0..100u64));
+                    b.jcc(protean_isa::Cond::ALL[rng.gen_range(0..10)], skip);
+                    b.add(
+                        Reg::gpr(rng.gen_range(0..8)),
+                        Reg::gpr(rng.gen_range(0..8)),
+                        1,
+                    );
+                    b.bind(skip);
+                }
+            }
+        }
+        b.add(counter, counter, 1);
+        b.cmp(counter, iters);
+        b.jcc(protean_isa::Cond::Ult, top);
+    }
+    b.halt();
+    let prog = b.build().unwrap();
+    let mut init = ArchState::new();
+    for i in 0..0x1000 / 8 {
+        init.mem.write(data_base + i * 8, 8, rng.gen());
+    }
+    (prog, init)
+}
+
+#[test]
+fn differential_random_programs() {
+    for seed in 0..25 {
+        let (prog, init) = random_program(seed);
+        prog.validate().expect("generated program is well-formed");
+        run_both(&prog, &init, CoreConfig::test_tiny());
+    }
+}
+
+#[test]
+fn differential_random_programs_realistic_core() {
+    for seed in 100..110 {
+        let (prog, init) = random_program(seed);
+        run_both(&prog, &init, CoreConfig::p_core());
+    }
+}

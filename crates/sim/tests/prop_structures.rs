@@ -1,0 +1,119 @@
+//! Property tests on the simulator's hardware structures.
+
+use proptest::prelude::*;
+use protean_sim::{Btb, Cache, CacheConfig, Rsb, TagePredictor};
+
+fn cache_cfg(sets_pow: u32, ways: usize) -> CacheConfig {
+    CacheConfig {
+        size_bytes: (1 << sets_pow) * ways * 64,
+        ways,
+        line_bytes: 64,
+        latency: 3,
+    }
+}
+
+proptest! {
+    /// An accessed line is resident until at least `ways` other lines of
+    /// the same set are accessed (LRU lower bound), and `probe` never
+    /// changes state.
+    #[test]
+    fn cache_access_then_probe(addrs in prop::collection::vec(0u64..0x10_0000, 1..128)) {
+        let mut cache = Cache::new(cache_cfg(4, 4), true);
+        for a in &addrs {
+            cache.access(*a);
+            prop_assert!(cache.probe(*a), "just-accessed line must be resident");
+        }
+        prop_assert_eq!(cache.hits + cache.misses, addrs.len() as u64);
+    }
+
+    /// meta_any and meta_all agree on uniform ranges and bracket each
+    /// other in general.
+    #[test]
+    fn cache_meta_consistency(
+        base in 0u64..0x1000,
+        size in 1u64..64,
+        set_value in any::<bool>()
+    ) {
+        let mut cache = Cache::new(cache_cfg(3, 2), true);
+        cache.access(base);
+        cache.access(base + size);
+        cache.meta_set(base, size, set_value);
+        let any = cache.meta_any(base, size);
+        let all = cache.meta_all(base, size);
+        // all => any.
+        prop_assert!(!all || any);
+        if set_value {
+            prop_assert!(any);
+        }
+    }
+
+    /// Invalidate really removes a line, and re-fill restores the
+    /// metadata default.
+    #[test]
+    fn cache_invalidate_resets_meta(addr in 0u64..0x8000) {
+        let mut cache = Cache::new(cache_cfg(3, 2), true);
+        cache.access(addr);
+        cache.access(addr + 7); // the range may straddle a line boundary
+        cache.meta_set(addr, 8, false);
+        prop_assert!(!cache.meta_any(addr, 8));
+        cache.invalidate(addr);
+        cache.invalidate(addr + 7);
+        prop_assert!(!cache.probe(addr));
+        cache.access(addr);
+        prop_assert!(cache.meta_any(addr, 8), "refill restores protected default");
+    }
+
+    /// The BTB only ever returns a target that was stored for exactly
+    /// that PC.
+    #[test]
+    fn btb_never_lies(updates in prop::collection::vec((0u64..0x4000, any::<u64>()), 1..64)) {
+        let mut btb = Btb::new(64);
+        let mut last = std::collections::HashMap::new();
+        for (pc, target) in &updates {
+            let pc = pc & !3;
+            btb.update(pc, *target);
+            last.insert(pc, *target);
+        }
+        for (pc, _) in &updates {
+            let pc = pc & !3;
+            if let Some(t) = btb.lookup(pc) {
+                prop_assert_eq!(t, last[&pc], "stale or aliased target for {:#x}", pc);
+            }
+        }
+    }
+
+    /// RSB: pushes and pops behave like a bounded stack (LIFO suffix).
+    #[test]
+    fn rsb_is_a_bounded_stack(values in prop::collection::vec(any::<u64>(), 1..40)) {
+        let cap = 8;
+        let mut rsb = Rsb::new(cap);
+        for v in &values {
+            rsb.push(*v);
+        }
+        let expected: Vec<u64> = values.iter().rev().take(cap).copied().collect();
+        let mut got = Vec::new();
+        while let Some(v) = rsb.pop() {
+            got.push(v);
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// TAGE history snapshot/restore is exact, and predictions are
+    /// deterministic functions of (state, pc).
+    #[test]
+    fn tage_snapshot_determinism(
+        pcs in prop::collection::vec(0u64..0x1000, 1..64),
+        outcomes in prop::collection::vec(any::<bool>(), 64)
+    ) {
+        let mut p = TagePredictor::new();
+        for (i, pc) in pcs.iter().enumerate() {
+            let pc = pc & !3;
+            let pred = p.predict(pc);
+            prop_assert_eq!(pred, p.predict(pc), "predict must be repeatable");
+            let h = p.history();
+            p.restore_history(h);
+            prop_assert_eq!(p.history(), h);
+            p.update(pc, pred, outcomes[i % outcomes.len()]);
+        }
+    }
+}

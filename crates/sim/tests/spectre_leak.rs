@@ -1,0 +1,116 @@
+//! The unsafe out-of-order core must be Spectre-vulnerable: a classic
+//! bounds-check-bypass gadget leaks a transiently loaded secret into the
+//! cache tag state, and the misprediction squash correctly restores
+//! architectural state. This is the behaviour every defense in this
+//! repository exists to prevent.
+
+use protean_arch::ArchState;
+use protean_isa::{assemble, Program, Reg};
+use protean_sim::{Core, CoreConfig, SimExit, SimResult, UnsafePolicy};
+
+const ARRAY_A: u64 = 0x10000; // 16 public elements (u64)
+const SECRET: u64 = 0x10000 + 16 * 8; // right past the bounds check
+const ARRAY_B: u64 = 0x40000; // probe array, indexed by secret * 64
+
+/// `if (idx < len) { x = A[idx]; y = B[x * 64]; }` in a training loop:
+/// the last iteration presents an out-of-bounds idx while the branch
+/// predictor still says "in bounds". As in a real Spectre-v1 gadget, the
+/// bound `len` is slow to arrive (a cold two-hop pointer chase — the
+/// equivalent of `clflush(&len)`), giving the wrong path time to run.
+fn gadget() -> Program {
+    assemble(
+        r#"
+          mov r0, 0            ; trip counter
+          mov r5, 0            ; idx
+          mov r8, 0x100000     ; len pointer-chain cursor (cold every iter)
+        loop:
+          cmp r0, 40
+          jeq attack
+          and r5, r0, 15       ; in-bounds idx while training
+          jmp victim
+        attack:
+          mov r5, 16           ; out-of-bounds: A[16] = the secret
+        victim:
+          load r7, [r8]        ; cold miss
+          load r7, [r7]        ; dependent cold miss -> len = 16, late
+          cmp r5, r7
+          juge skip            ; bounds check (predicted not-taken)
+          load r1, [r5*8 + 0x10000]   ; x = A[idx] (transient secret read)
+          shl r2, r1, 6               ; x * 64
+          load r3, [r2 + 0x40000]     ; transmit via cache set
+        skip:
+          add r8, r8, 4096     ; next chain cell (never cached)
+          add r0, r0, 1
+          cmp r0, 41
+          jlt loop
+          halt
+        "#,
+    )
+    .unwrap()
+}
+
+fn run_with_secret(secret: u64) -> SimResult {
+    let prog = gadget();
+    let mut init = ArchState::new();
+    for i in 0..16u64 {
+        init.mem.write(ARRAY_A + i * 8, 8, i); // public, small values
+    }
+    init.mem.write(SECRET, 8, secret);
+    // The len pointer chain: [0x100000 + i*4096] -> 0x200000 + i*4096,
+    // which holds len = 16. Fresh (cold) cells every iteration.
+    for i in 0..42u64 {
+        init.mem.write(0x100000 + i * 4096, 8, 0x200000 + i * 4096);
+        init.mem.write(0x200000 + i * 4096, 8, 16);
+    }
+    let mut core = Core::new(
+        &prog,
+        CoreConfig::test_tiny(),
+        Box::new(UnsafePolicy),
+        &init,
+    );
+    core.record_traces(true);
+    let r = core.run(100_000, 2_000_000);
+    assert_eq!(r.exit, SimExit::Halted);
+    r
+}
+
+#[test]
+fn unsafe_core_leaks_transient_secret_via_cache() {
+    let a = run_with_secret(100);
+    let b = run_with_secret(200);
+    // Architectural state is identical: the secret never committed to a
+    // register (the bounds check squashed the wrong path).
+    assert_eq!(a.final_regs, b.final_regs);
+    assert_eq!(a.committed_idxs, b.committed_idxs);
+    // But the cache tag state differs: B[secret * 64] was transiently
+    // fetched — the Spectre leak.
+    assert_ne!(
+        a.cache_obs, b.cache_obs,
+        "unsafe core must leak the secret into the cache"
+    );
+    let _ = ARRAY_B;
+}
+
+#[test]
+fn wrong_path_never_commits() {
+    let r = run_with_secret(100);
+    // The attack iteration's bounds check must architecturally skip the
+    // array loads: 40 training iterations commit 4 loads each (2 len-chain
+    // hops + A + B); the attack iteration commits only the 2 len hops.
+    assert_eq!(r.stats.loads, 40 * 4 + 2);
+    // The attack iteration mispredicted at least once.
+    assert!(r.stats.mispredicts >= 1);
+    assert!(r.stats.squashed > 0);
+}
+
+#[test]
+fn training_makes_predictor_confident() {
+    let r = run_with_secret(100);
+    // With 40 training iterations the overall branch misprediction rate
+    // must be low (the gadget depends on it).
+    assert!(
+        r.stats.mispredict_rate() < 0.2,
+        "mispredict rate {} too high for training to work",
+        r.stats.mispredict_rate()
+    );
+}

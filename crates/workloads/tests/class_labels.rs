@@ -1,0 +1,73 @@
+//! Each crypto workload must genuinely belong to its declared class:
+//! CTS/CT kernels produce identical CT traces for different keys
+//! (constant-time), UNR kernels do not, and ARCH kernels never hold
+//! secrets at all (there is nothing secret in their state).
+
+use protean_arch::{ArchState, Emulator, ExitStatus, Obs, ObserverMode};
+use protean_workloads::{ct_crypto, cts_crypto, nginx, unr_crypto, Scale, Workload};
+
+const KEY_BASE: u64 = 0x5_0000;
+
+fn ct_trace(w: &Workload, key_seed: u64) -> Vec<Obs> {
+    let (prog, init) = &w.threads[0];
+    let mut state: ArchState = init.clone();
+    // Re-randomize the key material only.
+    let mut x = key_seed;
+    for k in 0..64u64 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state.mem.write(KEY_BASE + k * 8, 8, x);
+    }
+    let mut emu = Emulator::new(prog, state);
+    let (status, records) = emu.run(w.max_insts * 4);
+    assert_eq!(status, ExitStatus::Halted, "{} did not halt", w.name);
+    ObserverMode::Ct.trace(&records)
+}
+
+#[test]
+fn cts_and_ct_kernels_are_constant_time() {
+    for w in cts_crypto(Scale(1))
+        .iter()
+        .chain(ct_crypto(Scale(1)).iter())
+    {
+        let a = ct_trace(w, 1);
+        let b = ct_trace(w, 2);
+        assert_eq!(
+            a, b,
+            "{} leaks its key architecturally — not constant-time",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn unr_kernels_are_not_constant_time() {
+    for w in unr_crypto(Scale(1)) {
+        let a = ct_trace(&w, 1);
+        let b = ct_trace(&w, 2);
+        assert_ne!(
+            a, b,
+            "{} should be non-constant-time (it is the UNR suite)",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn nginx_is_multiclass() {
+    let w = nginx(2, 2, Scale(1));
+    let prog = &w.threads[0].0;
+    use protean_isa::SecurityClass::*;
+    let classes: Vec<_> = prog.functions.iter().map(|f| f.class).collect();
+    for class in [Arch, Cts, Ct, Unr] {
+        assert!(
+            classes.contains(&class),
+            "nginx must contain {class} code (Fig. 1)"
+        );
+    }
+    // The UNR handshake makes the whole thing non-constant-time.
+    let a = ct_trace(&w, 1);
+    let b = ct_trace(&w, 2);
+    assert_ne!(a, b, "the nginx handshake is non-constant-time by design");
+}

@@ -1,0 +1,96 @@
+//! Roster invariants: unique names, correct suites and classes, all
+//! rows that the paper's tables reference are present.
+
+use protean_isa::SecurityClass;
+use protean_workloads::{
+    arch_wasm, ct_crypto, cts_crypto, nginx, parsec, spec2017, spec2017_int, unr_crypto, Scale,
+    Suite,
+};
+
+#[test]
+fn names_are_unique_and_suites_consistent() {
+    let mut names = std::collections::HashSet::new();
+    let suites = [
+        (spec2017(Scale(1)), Suite::Spec2017),
+        (parsec(Scale(1)), Suite::Parsec),
+        (arch_wasm(Scale(1)), Suite::ArchWasm),
+        (cts_crypto(Scale(1)), Suite::CtsCrypto),
+        (ct_crypto(Scale(1)), Suite::CtCrypto),
+        (unr_crypto(Scale(1)), Suite::UnrCrypto),
+    ];
+    for (ws, suite) in suites {
+        for w in ws {
+            assert!(names.insert(w.name.clone()), "duplicate name {}", w.name);
+            assert_eq!(w.suite, suite, "{}", w.name);
+        }
+    }
+}
+
+#[test]
+fn paper_table_v_rows_present() {
+    let wasm: Vec<String> = arch_wasm(Scale(1)).into_iter().map(|w| w.name).collect();
+    for name in ["bzip2", "mcf", "milc", "namd", "libquantum", "lmb"] {
+        assert!(wasm.contains(&name.to_string()), "missing {name}");
+    }
+    let cts: Vec<String> = cts_crypto(Scale(1)).into_iter().map(|w| w.name).collect();
+    for name in [
+        "hacl.chacha20",
+        "hacl.curve25519",
+        "hacl.poly1305",
+        "sodium.salsa20",
+        "sodium.sha256",
+        "ossl.chacha20",
+        "ossl.curve25519",
+        "ossl.sha256",
+    ] {
+        assert!(cts.contains(&name.to_string()), "missing {name}");
+    }
+    let ct: Vec<String> = ct_crypto(Scale(1)).into_iter().map(|w| w.name).collect();
+    for name in ["bearssl", "ctaes", "djbsort"] {
+        assert!(ct.contains(&name.to_string()), "missing {name}");
+    }
+    let unr: Vec<String> = unr_crypto(Scale(1)).into_iter().map(|w| w.name).collect();
+    for name in ["ossl.bnexp", "ossl.dh", "ossl.ecadd"] {
+        assert!(unr.contains(&name.to_string()), "missing {name}");
+    }
+}
+
+#[test]
+fn classes_match_suites() {
+    for w in cts_crypto(Scale(1)) {
+        assert_eq!(w.class, SecurityClass::Cts, "{}", w.name);
+    }
+    for w in ct_crypto(Scale(1)) {
+        assert_eq!(w.class, SecurityClass::Ct, "{}", w.name);
+    }
+    for w in unr_crypto(Scale(1)) {
+        assert_eq!(w.class, SecurityClass::Unr, "{}", w.name);
+    }
+    for w in spec2017(Scale(1)).into_iter().chain(arch_wasm(Scale(1))) {
+        assert_eq!(w.class, SecurityClass::Arch, "{}", w.name);
+    }
+}
+
+#[test]
+fn int_subset_excludes_fp() {
+    let int: Vec<String> = spec2017_int(Scale(1)).into_iter().map(|w| w.name).collect();
+    assert!(!int.contains(&"lbm.s".to_string()));
+    assert!(!int.contains(&"nab.s".to_string()));
+    assert!(int.contains(&"gcc.s".to_string()));
+}
+
+#[test]
+fn parsec_is_multithreaded() {
+    for w in parsec(Scale(1)) {
+        assert!(w.is_multithreaded(), "{}", w.name);
+        assert_eq!(w.threads.len(), protean_workloads::THREADS, "{}", w.name);
+    }
+    assert!(!nginx(1, 1, Scale(1)).is_multithreaded());
+}
+
+#[test]
+fn scale_grows_workloads() {
+    let small = &cts_crypto(Scale(1))[0];
+    let big = &cts_crypto(Scale(2))[0];
+    assert!(big.max_insts > small.max_insts);
+}

@@ -1,0 +1,58 @@
+//! Quickstart: assemble a small program, run it on the out-of-order
+//! P-core under the unsafe baseline and under Protean-Track, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use protean::arch::ArchState;
+use protean::core_defense::ProtTrackPolicy;
+use protean::isa::{assemble, Reg};
+use protean::sim::{Core, CoreConfig, DefensePolicy, UnsafePolicy};
+
+fn main() {
+    // A toy kernel: sum a table, with a PROT-protected secret mixed in.
+    let program = assemble(
+        r#"
+          mov rsp, 0x80000
+          prot load r5, [0x9000]      ; a secret value: protected
+          mov r0, 0x10000             ; table base
+          mov r1, 0                   ; i
+          mov r2, 0                   ; sum
+        loop:
+          load r3, [r0 + r1*8]
+          add r2, r2, r3
+          prot xor r5, r5, r2         ; secret-derived: stays protected
+          add r1, r1, 1
+          cmp r1, 512
+          jlt loop
+          prot store [0x9008], r5     ; store the (protected) result
+          store [0x9010], r2
+          halt
+        "#,
+    )
+    .expect("assembles");
+
+    let mut init = ArchState::new();
+    for i in 0..512u64 {
+        init.mem.write(0x10000 + i * 8, 8, i * 3);
+    }
+    init.mem.write(0x9000, 8, 0xdeadbeef); // the secret
+
+    for policy in [
+        Box::new(UnsafePolicy) as Box<dyn DefensePolicy>,
+        Box::new(ProtTrackPolicy::new()),
+    ] {
+        let name = policy.name();
+        let core = Core::new(&program, CoreConfig::p_core(), policy, &init);
+        let result = core.run(1_000_000, 10_000_000);
+        println!(
+            "{name:14} exit={:?}  cycles={:6}  ipc={:.2}  sum={}",
+            result.exit,
+            result.stats.cycles,
+            result.stats.ipc(),
+            result.final_regs[Reg::R2.index()],
+        );
+    }
+    println!("\nSame architectural result; Protean only pays where protected data flows.");
+}

@@ -1,0 +1,90 @@
+//! A Spectre-v1 bounds-check-bypass attack, end to end: the unsafe core
+//! leaks a transiently loaded secret into the cache tag state; every
+//! defense blocks it.
+//!
+//! ```text
+//! cargo run --release --example spectre_gadget
+//! ```
+
+use protean::arch::ArchState;
+use protean::baselines::{SptPolicy, SptSbPolicy, SttPolicy};
+use protean::core_defense::{ProtDelayPolicy, ProtTrackPolicy};
+use protean::isa::assemble;
+use protean::sim::{Core, CoreConfig, DefensePolicy, SimResult, UnsafePolicy};
+
+const SECRET_ADDR: u64 = 0x10000 + 16 * 8;
+
+fn run(policy: Box<dyn DefensePolicy>, secret: u64) -> SimResult {
+    // if (idx < len) { x = A[idx]; y = B[x * 64]; } with a slow,
+    // pointer-chased bound and a trained predictor (see tests/ for the
+    // annotated version).
+    let program = assemble(
+        r#"
+          mov r0, 0
+          mov r5, 0
+          mov r8, 0x100000
+        loop:
+          cmp r0, 40
+          jeq attack
+          and r5, r0, 15
+          jmp victim
+        attack:
+          mov r5, 16
+        victim:
+          load r7, [r8]
+          load r7, [r7]
+          cmp r5, r7
+          juge skip
+          load r1, [r5*8 + 0x10000]
+          shl r2, r1, 6
+          load r3, [r2 + 0x40000]
+        skip:
+          add r8, r8, 4096
+          add r0, r0, 1
+          cmp r0, 41
+          jlt loop
+          halt
+        "#,
+    )
+    .expect("assembles");
+    let mut init = ArchState::new();
+    for i in 0..16u64 {
+        init.mem.write(0x10000 + i * 8, 8, i);
+    }
+    init.mem.write(SECRET_ADDR, 8, secret);
+    for i in 0..42u64 {
+        init.mem.write(0x100000 + i * 4096, 8, 0x200000 + i * 4096);
+        init.mem.write(0x200000 + i * 4096, 8, 16);
+    }
+    let mut core = Core::new(&program, CoreConfig::test_tiny(), policy, &init);
+    core.record_traces(true);
+    core.run(100_000, 5_000_000)
+}
+
+fn main() {
+    let defenses: Vec<(&str, fn() -> Box<dyn DefensePolicy>)> = vec![
+        ("unsafe baseline", || Box::new(UnsafePolicy)),
+        ("STT", || Box::new(SttPolicy::fixed())),
+        ("SPT", || Box::new(SptPolicy::fixed())),
+        ("SPT-SB", || Box::new(SptSbPolicy::fixed())),
+        ("Protean-Delay", || Box::new(ProtDelayPolicy::new())),
+        ("Protean-Track", || Box::new(ProtTrackPolicy::new())),
+    ];
+    println!("Running the gadget with two different secrets under each defense:\n");
+    for (name, make) in defenses {
+        let a = run(make(), 100);
+        let b = run(make(), 200);
+        let arch_same = a.final_regs == b.final_regs && a.committed_idxs == b.committed_idxs;
+        let cache_leak = a.cache_obs != b.cache_obs;
+        let timing_leak = a.timing != b.timing;
+        println!(
+            "{name:16} arch-identical={arch_same}  cache-leak={cache_leak}  \
+             timing-leak={timing_leak}  cycles={}",
+            a.stats.cycles
+        );
+    }
+    println!(
+        "\nThe unsafe core leaks transiently (architectural state identical, \
+         cache state secret-dependent); every defense reports no leak."
+    );
+}

@@ -1,0 +1,58 @@
+//! # protean
+//!
+//! A full-system Rust reproduction of *"Protean: A Programmable Spectre
+//! Defense"* (HPCA 2026): the ProtISA `PROT`-prefix ISA extension, the
+//! ProtCC compiler passes, the ProtDelay/ProtTrack hardware protection
+//! mechanisms, the baseline defenses they are evaluated against
+//! (NDA/SpecShield, STT, SPT, SPT-SB), a cycle-level out-of-order CPU
+//! simulator, an AMuLeT\*-style security-contract fuzzer, and the
+//! synthetic workload suites and benchmark harness that regenerate every
+//! table and figure of the paper.
+//!
+//! This crate re-exports the component crates under short names:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`isa`] | `protean-isa` | instructions, `PROT` prefix, programs |
+//! | [`arch`] | `protean-arch` | sequential emulator, observer modes |
+//! | [`sim`] | `protean-sim` | out-of-order core, caches, predictors |
+//! | [`core_defense`] | `protean-core` | ProtDelay, ProtTrack, predictor |
+//! | [`baselines`] | `protean-baselines` | NDA, STT, SPT, SPT-SB |
+//! | [`cc`] | `protean-cc` | ProtCC compiler passes |
+//! | [`amulet`] | `protean-amulet` | contract fuzzer |
+//! | [`workloads`] | `protean-workloads` | synthetic benchmark suites |
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+//!
+//! # Quickstart
+//!
+//! Compile a constant-time function with ProtCC and run it under
+//! Protean-Track:
+//!
+//! ```
+//! use protean::arch::ArchState;
+//! use protean::core_defense::ProtTrackPolicy;
+//! use protean::isa::assemble;
+//! use protean::sim::{Core, CoreConfig, SimExit};
+//!
+//! let prog = assemble("xor r2, r0, r1\nstore [rsp + 8], r2\nhalt\n").unwrap();
+//! let core = Core::new(&prog, CoreConfig::p_core(),
+//!                      Box::new(ProtTrackPolicy::new()), &ArchState::new());
+//! assert_eq!(core.run(1_000, 100_000).exit, SimExit::Halted);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod facade;
+
+pub use facade::{Mechanism, Protean, SecuredRun};
+
+pub use protean_amulet as amulet;
+pub use protean_arch as arch;
+pub use protean_baselines as baselines;
+pub use protean_cc as cc;
+pub use protean_core as core_defense;
+pub use protean_isa as isa;
+pub use protean_sim as sim;
+pub use protean_workloads as workloads;

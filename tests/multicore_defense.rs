@@ -1,0 +1,50 @@
+//! Multi-core runs under defenses: all threads halt, architectural
+//! results are defense-independent, and SPT-SB's makespan dominates.
+
+use protean::baselines::SptSbPolicy;
+use protean::core_defense::ProtTrackPolicy;
+use protean::sim::{DefensePolicy, Multicore, SimExit, Thread, UnsafePolicy};
+use protean::workloads::{parsec, Scale};
+
+fn run(factory: &dyn Fn() -> Box<dyn DefensePolicy>) -> protean::sim::MulticoreResult {
+    let ws = parsec(Scale(1));
+    let w = ws.iter().find(|w| w.name == "blackscholes.p").unwrap();
+    let threads: Vec<Thread<'_>> = w
+        .threads
+        .iter()
+        .map(|(p, init)| Thread {
+            program: p,
+            initial: init.clone(),
+            policy: factory(),
+        })
+        .collect();
+    let r = Multicore::new(protean::sim::CoreConfig::e_core_mt()).run(
+        threads,
+        w.max_insts,
+        w.max_insts * 600,
+    );
+    for t in &r.threads {
+        assert_eq!(t.exit, SimExit::Halted);
+    }
+    r
+}
+
+#[test]
+fn multicore_defenses_preserve_results_and_cost_cycles() {
+    let base = run(&|| Box::new(UnsafePolicy));
+    let track = run(&|| Box::new(ProtTrackPolicy::new()));
+    let sptsb = run(&|| Box::new(SptSbPolicy::fixed()));
+
+    for i in 0..base.threads.len() {
+        assert_eq!(base.threads[i].final_regs, track.threads[i].final_regs);
+        assert_eq!(base.threads[i].final_regs, sptsb.threads[i].final_regs);
+    }
+    assert!(sptsb.makespan > base.makespan, "SPT-SB must cost cycles");
+    assert!(
+        sptsb.makespan > track.makespan,
+        "ProtTrack must beat SPT-SB on the stack-heavy kernel (§IX-A1): {} vs {}",
+        track.makespan,
+        sptsb.makespan
+    );
+    assert_eq!(base.total_committed(), track.total_committed());
+}
