@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI gate: hermetic build + tests + formatting, warnings-as-errors.
+#
+# The workspace has zero external dependencies (see DESIGN.md §"Zero
+# dependencies"), so everything runs with --offline: a network-less
+# container must pass this script from a clean checkout.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export RUSTFLAGS="-Dwarnings"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo build --release --offline --workspace --all-targets"
+cargo build --release --offline --workspace --all-targets
+
+echo "== cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "CI OK"

@@ -14,9 +14,8 @@ use crate::generator::{
 use protean_arch::{ArchState, Emulator, ExitStatus, ObserverMode};
 use protean_cc::{compile_with, public_typing, Pass};
 use protean_isa::Program;
+use protean_rng::Rng;
 use protean_sim::{Core, CoreConfig, DefensePolicy, SimResult};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Which security contract to test against (paper §II-C, §VII-B1c).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -182,7 +181,7 @@ pub fn fuzz(cfg: &FuzzConfig, policy_factory: &dyn Fn() -> Box<dyn DefensePolicy
         };
         let program = compile_with(&raw, cfg.pass).program;
         let observer = cfg.contract.observer(&program);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x5eed);
 
         // The base input.
         let base = make_input(&mut rng);
@@ -232,7 +231,7 @@ pub fn fuzz(cfg: &FuzzConfig, policy_factory: &dyn Fn() -> Box<dyn DefensePolicy
 }
 
 /// Builds a base input: cold chain, public data, registers, secrets.
-fn make_input(rng: &mut StdRng) -> ArchState {
+fn make_input(rng: &mut Rng) -> ArchState {
     let mut state = ArchState::new();
     generator::init_cold_chain(&mut state.mem);
     for i in 0..PUBLIC_SIZE / 8 {
@@ -248,7 +247,7 @@ fn make_input(rng: &mut StdRng) -> ArchState {
     state
 }
 
-fn randomize_secrets(state: &mut ArchState, rng: &mut StdRng) {
+fn randomize_secrets(state: &mut ArchState, rng: &mut Rng) {
     for i in 0..SECRET_SIZE / 8 {
         state.mem.write(SECRET_BASE + i * 8, 8, rng.gen::<u64>());
     }

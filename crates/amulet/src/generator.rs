@@ -27,8 +27,7 @@
 //! only arise transiently or through deliberate gadget loads.
 
 use protean_isa::{AluOp, Cond, Mem, Program, ProgramBuilder, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use protean_rng::Rng;
 
 /// Base of the public data window.
 pub const PUBLIC_BASE: u64 = 0x10000;
@@ -120,7 +119,7 @@ pub fn generate(cfg: &GenConfig) -> Program {
 }
 
 fn generate_inner(cfg: &GenConfig, only: Option<GadgetTemplate>) -> Program {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut b = ProgramBuilder::new();
     // Prologue: stack, cold-chain cursor (R11), public pointer (R10).
     b.mov_imm(Reg::RSP, STACK_TOP);
@@ -168,7 +167,7 @@ pub fn init_cold_chain(mem: &mut protean_arch::Memory) {
     }
 }
 
-fn random_segment(b: &mut ProgramBuilder, rng: &mut StdRng) {
+fn random_segment(b: &mut ProgramBuilder, rng: &mut Rng) {
     let n = rng.gen_range(3..12);
     for _ in 0..n {
         match rng.gen_range(0..10) {
@@ -234,7 +233,7 @@ enum GadgetSink {
 /// Spectre-v1 template: train an in-bounds check, then present an
 /// out-of-bounds index while the (cold pointer-chased) bound is still in
 /// flight; steer the out-of-bounds (secret) value into `sink`.
-fn gadget_bounds_bypass(b: &mut ProgramBuilder, rng: &mut StdRng, sink: GadgetSink) {
+fn gadget_bounds_bypass(b: &mut ProgramBuilder, rng: &mut Rng, sink: GadgetSink) {
     let trips = rng.gen_range(12..24u64);
     let trip = Reg::R9;
     let idx = Reg::R8;
@@ -321,7 +320,7 @@ fn gadget_bounds_bypass(b: &mut ProgramBuilder, rng: &mut StdRng, sink: GadgetSi
 /// arrives late; the younger reload transiently reads the *stale secret*
 /// and transmits it. Architecturally the slot always reads back the
 /// public value. Only ATCOMMIT-grade defenses catch this (footnote 1).
-fn gadget_memory_order(b: &mut ProgramBuilder, rng: &mut StdRng) {
+fn gadget_memory_order(b: &mut ProgramBuilder, rng: &mut Rng) {
     let slot = rng.gen_range(0..SECRET_SIZE / 8) * 8;
     let addr = Reg::R7;
     let val = Reg::R6;
@@ -391,7 +390,7 @@ mod tests {
 /// RSB predicts the abandoned call site — whose code loads and
 /// transmits a secret. The replacement target arrives through a cold
 /// pointer chase, giving the transient window time.
-fn gadget_rsb(b: &mut ProgramBuilder, rng: &mut StdRng) {
+fn gadget_rsb(b: &mut ProgramBuilder, rng: &mut Rng) {
     let slot = rng.gen_range(0..SECRET_SIZE / 8) * 8;
     let g = b.label("rsb_g");
     let real_cont = b.label("rsb_cont");
@@ -410,8 +409,8 @@ fn gadget_rsb(b: &mut ProgramBuilder, rng: &mut StdRng) {
     b.load(val, Mem::base(Reg::R11));
     b.load(val, Mem::base(val)); // = 16; dependency only
     b.mul(val, val, 0); // = 0, still dependent on the chase
-    // The new return target: a relocated code pointer (survives ProtCC
-    // instrumentation, like a linker relocation).
+                        // The new return target: a relocated code pointer (survives ProtCC
+                        // instrumentation, like a linker relocation).
     b.mov_code_pointer(tmp, real_cont);
     b.add(tmp, tmp, val); // dependent on the slow chase
     b.store(Mem::base(Reg::RSP), tmp);
@@ -420,12 +419,11 @@ fn gadget_rsb(b: &mut ProgramBuilder, rng: &mut StdRng) {
     b.add(Reg::R11, Reg::R11, 4096);
 }
 
-
 /// Spectre-v2 template: an indirect jump trained to `hot` receives a
 /// slow-arriving (cold-chase-dependent) pointer to `cold` on the final
 /// trip; the BTB steers transient execution through `hot`, which
 /// dereferences the secret region.
-fn gadget_btb(b: &mut ProgramBuilder, rng: &mut StdRng) {
+fn gadget_btb(b: &mut ProgramBuilder, rng: &mut Rng) {
     static NEXT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let uid = NEXT_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let trips = rng.gen_range(12..20u64);
@@ -454,8 +452,8 @@ fn gadget_btb(b: &mut ProgramBuilder, rng: &mut StdRng) {
     b.bind(dispatch);
     b.add(target, target, val); // +0, but waits on the chase
     b.jmpreg(target); // trained to `hot`; mispredicts on the final trip
-    // --- hot: public work during training; on the final (transient)
-    //     visit, trip == trips selects the secret deref ----------------
+                      // --- hot: public work during training; on the final (transient)
+                      //     visit, trip == trips selects the secret deref ----------------
     b.bind(hot);
     b.and(tmp, trip, 15);
     b.load(val, Mem::abs(PUBLIC_BASE).with_index(tmp, 8));

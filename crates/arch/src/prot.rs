@@ -12,7 +12,7 @@
 //! superset of this reference.
 
 use protean_isa::{Reg, RegSet, Width};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The architectural ProtSet: per-register protection bits plus a sparse
 /// set of *unprotected* memory bytes (memory defaults to protected).
@@ -35,7 +35,7 @@ pub struct ProtState {
     reg_prot: [bool; Reg::COUNT],
     /// Memory bytes known to be unprotected. Everything else is
     /// protected.
-    unprot_bytes: HashSet<u64>,
+    unprot_bytes: BTreeSet<u64>,
 }
 
 impl ProtState {
@@ -43,7 +43,7 @@ impl ProtState {
     pub fn new() -> ProtState {
         ProtState {
             reg_prot: [true; Reg::COUNT],
-            unprot_bytes: HashSet::new(),
+            unprot_bytes: BTreeSet::new(),
         }
     }
 

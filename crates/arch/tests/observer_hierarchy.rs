@@ -11,11 +11,10 @@
 
 use protean_arch::{ArchState, Emulator, ExecRecord, ExitStatus, ObserverMode, PublicTyping};
 use protean_isa::{assemble, Program, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use protean_rng::Rng;
 
 fn random_program(seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut src = String::from("mov rsp, 0x8000\n");
     for i in 0..rng.gen_range(5..25) {
         match rng.gen_range(0..6) {
@@ -59,7 +58,7 @@ fn random_program(seed: u64) -> Program {
 
 fn records(program: &Program, seed: u64) -> Vec<ExecRecord> {
     let mut state = ArchState::new();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for i in 0..6 {
         state.set_reg(Reg::gpr(i), rng.gen_range(0..256));
     }

@@ -9,7 +9,7 @@ use protean_baselines::{AccessDelayPolicy, SptPolicy, SptSbPolicy, SttPolicy};
 use protean_isa::{Inst, Mem, Op, Reg, Width};
 use protean_sim::{
     DefensePolicy, DynInst, MemState, RegTags, SpecFrontier, SpeculationModel, UnsafePolicy,
-    UopStatus, NO_ROOT,
+    UopStatus,
 };
 
 /// A maximally "dangerous" µop: a load with protected, tainted sensitive

@@ -1,10 +1,13 @@
-//! Criterion microbenchmarks of the simulator substrate itself:
-//! pipeline throughput under each defense, branch predictor, cache, and
+//! Microbenchmarks of the simulator substrate itself: pipeline
+//! throughput under each defense, branch predictor, cache, and
 //! access-predictor operations.
+//!
+//! Run with `cargo bench --bench pipeline`. Sample counts can be
+//! overridden with `PROTEAN_BENCH_SAMPLES`/`PROTEAN_BENCH_WARMUP`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use protean_arch::ArchState;
 use protean_baselines::{SptPolicy, SptSbPolicy, SttPolicy};
+use protean_bench::harness::Bench;
 use protean_cc::{compile_with, Pass};
 use protean_core::{AccessPredictor, ProtDelayPolicy, ProtTrackPolicy};
 use protean_isa::{assemble, Program};
@@ -40,10 +43,9 @@ fn kernel() -> (Program, ArchState) {
     (prog, init)
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline() {
     let (prog, init) = kernel();
-    let mut group = c.benchmark_group("pipeline_50k_uops");
-    group.sample_size(10);
+    let bench = Bench::new("pipeline_50k_uops");
     let defenses: Vec<(&str, fn() -> Box<dyn DefensePolicy>)> = vec![
         ("unsafe", || Box::new(UnsafePolicy)),
         ("stt", || Box::new(SttPolicy::fixed())),
@@ -53,50 +55,49 @@ fn bench_pipeline(c: &mut Criterion) {
         ("prot-track", || Box::new(ProtTrackPolicy::new())),
     ];
     for (name, make) in defenses {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let core = Core::new(&prog, CoreConfig::p_core(), make(), &init);
-                core.run(1_000_000, 60_000_000)
-            })
+        bench.run(name, || {
+            let core = Core::new(&prog, CoreConfig::p_core(), make(), &init);
+            core.run(1_000_000, 60_000_000)
         });
     }
-    group.finish();
 }
 
-fn bench_protcc(c: &mut Criterion) {
+fn bench_protcc() {
     let (prog, _) = kernel();
-    let mut group = c.benchmark_group("protcc_compile");
+    let bench = Bench::new("protcc_compile").samples(20);
     for pass in [Pass::Cts, Pass::Ct, Pass::Unr] {
-        group.bench_function(BenchmarkId::from_parameter(pass.name()), |b| {
-            b.iter(|| compile_with(&prog, pass))
-        });
+        bench.run(pass.name(), || compile_with(&prog, pass));
     }
-    group.finish();
 }
 
-fn bench_structures(c: &mut Criterion) {
-    c.bench_function("tage_predict_update", |b| {
+fn bench_structures() {
+    // Structure operations are nanosecond-scale; batch them so each
+    // sample is long enough for the wall clock to resolve.
+    const BATCH: u64 = 100_000;
+    let bench = Bench::new("structures_100k_ops").samples(20);
+    bench.run("tage_predict_update", || {
         let mut p = TagePredictor::new();
-        let mut i = 0u64;
-        b.iter(|| {
+        let mut acc = 0u64;
+        for i in 0..BATCH {
             let pc = 0x400000 + (i % 64) * 8;
             let pred = p.predict(pc);
             p.update(pc, pred, i % 3 == 0);
-            i += 1;
-        })
+            acc += pred as u64;
+        }
+        acc
     });
-    c.bench_function("btb_lookup", |b| {
+    bench.run("btb_lookup", || {
         let mut btb = Btb::new(4096);
         for i in 0..512u64 {
             btb.update(0x400000 + i * 4, i);
         }
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            btb.lookup(0x400000 + (i % 512) * 4)
-        })
+        let mut acc = 0u64;
+        for i in 0..BATCH {
+            acc += btb.lookup(0x400000 + (i % 512) * 4).unwrap_or(0);
+        }
+        acc
     });
-    c.bench_function("l1d_access", |b| {
+    bench.run("l1d_access", || {
         let cfg = CacheConfig {
             size_bytes: 48 * 1024,
             ways: 12,
@@ -104,23 +105,26 @@ fn bench_structures(c: &mut Criterion) {
             latency: 5,
         };
         let mut cache = Cache::new(cfg, true);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x40);
-            cache.access(i % (1 << 20))
-        })
+        for i in 0..BATCH {
+            cache.access((i * 0x40) % (1 << 20));
+        }
+        cache.hits
     });
-    c.bench_function("access_predictor", |b| {
+    bench.run("access_predictor", || {
         let mut p = AccessPredictor::new(1024);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
+        let mut acc = 0u64;
+        for i in 0..BATCH {
             let pc = 0x400000 + (i % 200) * 4;
             let pred = p.predict_access(pc);
             p.update(pc, !pred);
-        })
+            acc += pred as u64;
+        }
+        acc
     });
 }
 
-criterion_group!(benches, bench_pipeline, bench_protcc, bench_structures);
-criterion_main!(benches);
+fn main() {
+    bench_pipeline();
+    bench_protcc();
+    bench_structures();
+}

@@ -1,16 +1,17 @@
-//! Criterion wrappers around the table-generation harness: one
-//! representative workload per paper table, timed end to end (the same
-//! subset the artifact's `--bench` quick mode uses, §A-F1).
+//! End-to-end timings of the table-generation harness: one
+//! representative workload per paper table (the same subset the
+//! artifact's `--bench` quick mode uses, §A-F1).
+//!
+//! Run with `cargo bench --bench tables`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protean_bench::harness::Bench;
 use protean_bench::{binary_for, run_workload, Binary, Defense};
 use protean_sim::CoreConfig;
 use protean_workloads::{arch_wasm, ct_crypto, cts_crypto, nginx, unr_crypto, Scale};
 
-fn bench_table_v_rows(c: &mut Criterion) {
+fn main() {
     let core = CoreConfig::p_core();
-    let mut group = c.benchmark_group("table_v_row");
-    group.sample_size(10);
+    let bench = Bench::new("table_v_row");
     // The shortest-host-runtime benchmark of each suite, as in §A-F1.
     let rows: Vec<(&str, protean_workloads::Workload, Defense)> = vec![
         ("lmb/STT", arch_wasm(Scale(1)).remove(5), Defense::Stt),
@@ -24,22 +25,16 @@ fn bench_table_v_rows(c: &mut Criterion) {
         ("nginx.c1r1/SPT-SB", nginx(1, 1, Scale(1)), Defense::SptSb),
     ];
     for (name, w, baseline) in rows {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let base = run_workload(&w, &core, Defense::Unsafe, Binary::Base);
-                let bl = run_workload(&w, &core, baseline, Binary::Base);
-                let track = run_workload(
-                    &w,
-                    &core,
-                    Defense::ProtTrack,
-                    binary_for(Defense::ProtTrack, w.class),
-                );
-                (base.cycles, bl.cycles, track.cycles)
-            })
+        bench.run(name, || {
+            let base = run_workload(&w, &core, Defense::Unsafe, Binary::Base);
+            let bl = run_workload(&w, &core, baseline, Binary::Base);
+            let track = run_workload(
+                &w,
+                &core,
+                Defense::ProtTrack,
+                binary_for(Defense::ProtTrack, w.class),
+            );
+            (base.cycles, bl.cycles, track.cycles)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table_v_rows);
-criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! A lightweight wall-clock benchmark harness.
+//!
+//! Replaces the workspace's former `criterion` dev-dependency with the
+//! minimal feature set the benches use: warmup iterations, a fixed
+//! sample count, and a median-of-samples text report. No statistics
+//! beyond min/median/max are attempted — the benches here measure
+//! simulator throughput where run-to-run noise is far smaller than the
+//! effects of interest.
+//!
+//! Sample counts can be overridden without editing code via
+//! `PROTEAN_BENCH_SAMPLES` and `PROTEAN_BENCH_WARMUP`.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use protean_bench::harness::Bench;
+//!
+//! let bench = Bench::new("sums");
+//! bench.run("naive", || (0..1_000_000u64).sum::<u64>());
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Default number of timed samples per case.
+pub const DEFAULT_SAMPLES: u32 = 10;
+
+/// Default number of untimed warmup iterations per case.
+pub const DEFAULT_WARMUP: u32 = 2;
+
+/// A named group of benchmark cases with shared sample settings.
+#[derive(Clone, Debug)]
+pub struct Bench {
+    group: &'static str,
+    samples: u32,
+    warmup: u32,
+}
+
+impl Bench {
+    /// Creates a benchmark group named `group` (prefixes every case in
+    /// the report). `PROTEAN_BENCH_SAMPLES` and `PROTEAN_BENCH_WARMUP`
+    /// override the defaults and any values set with
+    /// [`Bench::samples`]/[`Bench::warmup`].
+    pub fn new(group: &'static str) -> Bench {
+        Bench {
+            group,
+            samples: env_u32("PROTEAN_BENCH_SAMPLES")
+                .unwrap_or(DEFAULT_SAMPLES)
+                .max(1),
+            warmup: env_u32("PROTEAN_BENCH_WARMUP").unwrap_or(DEFAULT_WARMUP),
+        }
+    }
+
+    /// Sets the timed sample count (unless overridden by
+    /// `PROTEAN_BENCH_SAMPLES`).
+    pub fn samples(mut self, samples: u32) -> Bench {
+        if std::env::var_os("PROTEAN_BENCH_SAMPLES").is_none() {
+            self.samples = samples.max(1);
+        }
+        self
+    }
+
+    /// Sets the warmup iteration count (unless overridden by
+    /// `PROTEAN_BENCH_WARMUP`).
+    pub fn warmup(mut self, warmup: u32) -> Bench {
+        if std::env::var_os("PROTEAN_BENCH_WARMUP").is_none() {
+            self.warmup = warmup;
+        }
+        self
+    }
+
+    /// Times `f` (`warmup` untimed runs, then `samples` timed runs),
+    /// prints one report line, and returns the statistics. The
+    /// closure's result is passed through [`black_box`] so the work is
+    /// not optimized away.
+    pub fn run<T>(&self, case: &str, mut f: impl FnMut() -> T) -> Stats {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut times = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        let stats = Stats {
+            median: times[times.len() / 2],
+            min: times[0],
+            max: times[times.len() - 1],
+            samples: self.samples,
+        };
+        println!(
+            "{:<44} median {:>9}  min {:>9}  max {:>9}  ({} samples)",
+            format!("{}/{}", self.group, case),
+            fmt_duration(stats.median),
+            fmt_duration(stats.min),
+            fmt_duration(stats.max),
+            stats.samples,
+        );
+        stats
+    }
+}
+
+/// Timing summary of one benchmark case.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Median of the timed samples.
+    pub median: Duration,
+    /// Fastest timed sample.
+    pub min: Duration,
+    /// Slowest timed sample.
+    pub max: Duration,
+    /// Number of timed samples.
+    pub samples: u32,
+}
+
+/// Formats a duration with an adaptive unit (ns/µs/ms/s).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+fn env_u32(var: &str) -> Option<u32> {
+    let raw = std::env::var(var).ok()?;
+    let parsed = raw.trim().parse();
+    Some(parsed.unwrap_or_else(|_| panic!("{var}={raw} is not a u32")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_ordered_and_sample_count_respected() {
+        let stats = Bench::new("test")
+            .samples(5)
+            .warmup(1)
+            .run("spin", || std::hint::black_box((0..1000u64).sum::<u64>()));
+        assert_eq!(stats.samples, 5);
+        assert!(stats.min <= stats.median && stats.median <= stats.max);
+    }
+
+    #[test]
+    fn duration_formatting_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(15)), "15ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.00µs");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(4)), "4.00s");
+    }
+}

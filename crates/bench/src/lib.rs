@@ -22,6 +22,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod harness;
+
 use protean_baselines::{AccessDelayPolicy, SptPolicy, SptSbPolicy, SttPolicy};
 use protean_cc::{compile, compile_with, Pass};
 use protean_core::{ProtDelayPolicy, ProtTrackPolicy};

@@ -5,8 +5,7 @@ use crate::cfg::FunctionCfg;
 use crate::cts::infer_typing;
 use crate::edit::ProgramEditor;
 use protean_isa::{Program, Reg, RegSet, SecurityClass};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use protean_rng::Rng;
 
 /// A ProtCC pass (paper §V-A, one per vulnerable-code class, plus the
 /// random instrumentation used for UNPROT-SEQ fuzzing, §VII-B4).
@@ -159,7 +158,7 @@ fn apply_pass(
     match pass {
         Pass::Arch => {}
         Pass::Rand { prob, seed } => {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             for idx in start..end {
                 if rng.gen_bool(prob) {
                     editor.set_prot(idx, true);

@@ -3,14 +3,18 @@
 //! flow or change architectural semantics, and pass outputs are always
 //! structurally valid.
 
-use proptest::prelude::*;
 use protean_arch::{ArchState, Emulator, ExitStatus};
 use protean_cc::{compile_with, Pass, ProgramEditor};
 use protean_isa::{assemble, Program, Reg};
+use protean_testkit::Checker;
 
 /// A deterministic, branchy base program with a loop and a diamond.
+/// 15 instructions long — insertion positions range over `0..=15`,
+/// where 15 is a trailing insertion.
+const BASE_LEN: u32 = 15;
+
 fn base_program() -> Program {
-    assemble(
+    let program = assemble(
         r#"
           mov rsp, 0x8000
           mov r0, 0
@@ -32,7 +36,9 @@ fn base_program() -> Program {
           halt
         "#,
     )
-    .unwrap()
+    .unwrap();
+    assert_eq!(program.len() as u32, BASE_LEN);
+    program
 }
 
 fn final_state(program: &Program) -> ([u64; Reg::COUNT], u64) {
@@ -42,56 +48,100 @@ fn final_state(program: &Program) -> ([u64; Reg::COUNT], u64) {
     (emu.state.regs, emu.state.mem.read(0x1000, 8))
 }
 
-proptest! {
-    /// Identity moves inserted at arbitrary positions are architectural
-    /// no-ops: same final registers and memory, valid program.
-    #[test]
-    fn random_identity_insertions_are_noops(
-        points in prop::collection::vec((0u32..15, 0usize..Reg::GPR_COUNT), 0..12)
-    ) {
-        let program = base_program();
-        let reference = final_state(&program);
-        let mut editor = ProgramEditor::new(program.clone());
-        for (pos, reg) in &points {
-            editor.insert_identity_move(*pos, Reg::gpr(*reg));
-        }
-        let edited = editor.apply();
-        prop_assert!(edited.validate().is_ok());
-        prop_assert_eq!(edited.len(), program.len() + points.len());
-        let after = final_state(&edited);
-        prop_assert_eq!(reference.0, after.0);
-        prop_assert_eq!(reference.1, after.1);
+/// Identity moves at the given positions (up to and including the
+/// program's end) must be architectural no-ops: same final registers
+/// and memory, valid program.
+fn check_identity_insertions_are_noops(points: &[(u32, usize)]) {
+    let program = base_program();
+    let reference = final_state(&program);
+    let mut editor = ProgramEditor::new(program.clone());
+    for (pos, reg) in points {
+        editor.insert_identity_move(*pos, Reg::gpr(*reg));
     }
+    let edited = editor.apply();
+    assert!(edited.validate().is_ok());
+    assert_eq!(edited.len(), program.len() + points.len());
+    let after = final_state(&edited);
+    assert_eq!(reference.0, after.0);
+    assert_eq!(reference.1, after.1);
+}
 
-    /// Random prefix toggles never affect architectural results (PROT
-    /// changes protection state, not values), and the program stays
-    /// valid.
-    #[test]
-    fn random_prefixes_are_semantically_inert(flips in prop::collection::vec(0u32..15, 0..15)) {
-        let program = base_program();
-        let reference = final_state(&program);
-        let mut editor = ProgramEditor::new(program);
-        for idx in flips {
-            editor.set_prot(idx, true);
-        }
-        let edited = editor.apply();
-        prop_assert!(edited.validate().is_ok());
-        let after = final_state(&edited);
-        prop_assert_eq!(reference.0, after.0);
-    }
+/// Identity moves inserted at arbitrary positions — including the
+/// trailing position `len` — are architectural no-ops.
+#[test]
+fn random_identity_insertions_are_noops() {
+    Checker::new("random_identity_insertions_are_noops").run(
+        |rng| {
+            let n = rng.gen_range(0..12usize);
+            (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..=BASE_LEN),
+                        rng.gen_range(0..Reg::GPR_COUNT),
+                    )
+                })
+                .collect::<Vec<(u32, usize)>>()
+        },
+        |points| check_identity_insertions_are_noops(points),
+    );
+}
 
-    /// Every pass on every RAND-prefix starting point yields a valid,
-    /// semantics-preserving program (passes must be insensitive to
-    /// pre-existing prefixes).
-    #[test]
-    fn passes_valid_on_randomly_preprotected_inputs(seed in 0u64..32, prob in 0.0f64..1.0) {
-        let pre = compile_with(&base_program(), Pass::Rand { prob, seed }).program;
-        let reference = final_state(&pre);
-        for pass in [Pass::Cts, Pass::Ct, Pass::Unr] {
-            let out = compile_with(&pre, pass).program;
-            prop_assert!(out.validate().is_ok());
-            let after = final_state(&out);
-            prop_assert_eq!(reference.0, after.0, "pass {}", pass.name());
-        }
-    }
+/// Former proptest counterexample (`shrinks to points = [(15, 0)]`): an
+/// identity move inserted at position 15 — one past the last
+/// instruction of the 15-instruction base program. The editor used to
+/// mishandle trailing insertions, and the property's insertion range
+/// was narrowed to `0..15` to dodge it; the range is widened back to
+/// `0..=15` above, and this pins the exact failing input.
+#[test]
+fn regression_trailing_identity_insertion() {
+    check_identity_insertions_are_noops(&[(15, 0)]);
+}
+
+/// Random prefix toggles never affect architectural results (PROT
+/// changes protection state, not values), and the program stays
+/// valid.
+#[test]
+fn random_prefixes_are_semantically_inert() {
+    Checker::new("random_prefixes_are_semantically_inert").run(
+        |rng| {
+            let n = rng.gen_range(0..15usize);
+            (0..n)
+                .map(|_| rng.gen_range(0..BASE_LEN))
+                .collect::<Vec<u32>>()
+        },
+        |flips| {
+            let program = base_program();
+            let reference = final_state(&program);
+            let mut editor = ProgramEditor::new(program);
+            for idx in flips {
+                editor.set_prot(*idx, true);
+            }
+            let edited = editor.apply();
+            assert!(edited.validate().is_ok());
+            let after = final_state(&edited);
+            assert_eq!(reference.0, after.0);
+        },
+    );
+}
+
+/// Every pass on every RAND-prefix starting point yields a valid,
+/// semantics-preserving program (passes must be insensitive to
+/// pre-existing prefixes).
+#[test]
+fn passes_valid_on_randomly_preprotected_inputs() {
+    Checker::new("passes_valid_on_randomly_preprotected_inputs")
+        .cases(64) // each case emulates four programs; keep runtime sane
+        .run(
+            |rng| (rng.gen_range(0u64..32), rng.gen_range(0.0..1.0f64)),
+            |&(seed, prob)| {
+                let pre = compile_with(&base_program(), Pass::Rand { prob, seed }).program;
+                let reference = final_state(&pre);
+                for pass in [Pass::Cts, Pass::Ct, Pass::Unr] {
+                    let out = compile_with(&pre, pass).program;
+                    assert!(out.validate().is_ok());
+                    let after = final_state(&out);
+                    assert_eq!(reference.0, after.0, "pass {}", pass.name());
+                }
+            },
+        );
 }

@@ -188,7 +188,9 @@ impl Assembler {
             split_operands(rest)
         };
         let op = self.parse_op(&mnemonic, &ops, line)?;
-        Ok(Inst { op, prot })
+        let inst = Inst { op, prot };
+        inst.validate().map_err(|why| err(line, why.into()))?;
+        Ok(inst)
     }
 
     fn parse_op(&mut self, mnemonic: &str, ops: &[&str], line: usize) -> Result<Op, AsmError> {

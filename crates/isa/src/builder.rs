@@ -1,6 +1,8 @@
 //! An ergonomic program builder with forward-reference labels.
 
-use crate::{AluOp, Cond, Function, Inst, Mem, Op, Operand, Program, Reg, Reloc, SecurityClass, Width};
+use crate::{
+    AluOp, Cond, Function, Inst, Mem, Op, Operand, Program, Reg, Reloc, SecurityClass, Width,
+};
 use std::collections::BTreeMap;
 
 /// A label handle issued by [`ProgramBuilder::label`].
@@ -376,7 +378,10 @@ impl ProgramBuilder {
                 Op::MovImm { imm, .. } => *imm = pc,
                 other => unreachable!("reloc slot holds {other:?}"),
             }
-            relocs.push(Reloc { inst: *idx as u32, target });
+            relocs.push(Reloc {
+                inst: *idx as u32,
+                target,
+            });
         }
         Ok(Program {
             insts,

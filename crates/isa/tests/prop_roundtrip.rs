@@ -1,147 +1,228 @@
 //! Property tests: encode/decode and assemble/disassemble round-trips
-//! hold for arbitrary instructions.
+//! hold for arbitrary legal instructions.
 
-use proptest::prelude::*;
 use protean_isa::{
     assemble, decode_program, encode_program, AluOp, Cond, Inst, Mem, Op, Operand, Program, Reg,
     Width,
 };
+use protean_testkit::{Checker, Rng};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0..Reg::COUNT).prop_map(Reg::new)
+fn arb_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.gen_range(0..Reg::COUNT))
 }
 
-fn arb_width() -> impl Strategy<Value = Width> {
-    prop::sample::select(Width::ALL.to_vec())
+/// Any register except `RFLAGS`, which is never a legal explicit
+/// destination (see [`Inst::validate`]).
+fn arb_dst_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.gen_range(0..Reg::RFLAGS.index()))
 }
 
-fn arb_cond() -> impl Strategy<Value = Cond> {
-    prop::sample::select(Cond::ALL.to_vec())
+fn arb_width(rng: &mut Rng) -> Width {
+    *rng.choose(&Width::ALL).unwrap()
 }
 
-fn arb_alu() -> impl Strategy<Value = AluOp> {
-    prop::sample::select(AluOp::ALL.to_vec())
+fn arb_cond(rng: &mut Rng) -> Cond {
+    *rng.choose(&Cond::ALL).unwrap()
 }
 
-fn arb_operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        arb_reg().prop_map(Operand::Reg),
-        any::<u64>().prop_map(Operand::Imm),
-    ]
+fn arb_alu(rng: &mut Rng) -> AluOp {
+    *rng.choose(&AluOp::ALL).unwrap()
 }
 
-fn arb_mem() -> impl Strategy<Value = Mem> {
-    (
-        prop::option::of(arb_reg()),
-        prop::option::of((arb_reg(), prop::sample::select(vec![1u8, 2, 4, 8]))),
+fn arb_operand(rng: &mut Rng) -> Operand {
+    if rng.gen::<bool>() {
+        Operand::Reg(arb_reg(rng))
+    } else {
+        Operand::Imm(rng.gen::<u64>())
+    }
+}
+
+fn arb_mem(rng: &mut Rng) -> Mem {
+    Mem {
+        base: rng.gen::<bool>().then(|| arb_reg(rng)),
+        index: rng
+            .gen::<bool>()
+            .then(|| (arb_reg(rng), *rng.choose(&[1u8, 2, 4, 8]).unwrap())),
         // Keep displacements in a readable range so the assembler's
         // hex formatting round-trips.
-        -0xffff_i64..0xffff_i64,
-    )
-        .prop_map(|(base, index, disp)| Mem { base, index, disp })
+        disp: rng.gen_range(-0xffff_i64..0xffff_i64),
+    }
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (arb_reg(), any::<u64>(), arb_width()).prop_map(|(dst, imm, width)| Op::MovImm {
-            dst,
-            imm,
-            width
-        }),
-        (arb_reg(), arb_reg(), arb_width()).prop_map(|(dst, src, width)| Op::Mov {
-            dst,
-            src,
-            width
-        }),
-        (arb_cond(), arb_reg(), arb_reg()).prop_map(|(cond, dst, src)| Op::CMov { cond, dst, src }),
-        (arb_alu(), arb_reg(), arb_reg(), arb_operand(), arb_width()).prop_map(
-            |(op, dst, src1, src2, width)| Op::Alu {
-                op,
-                dst,
-                src1,
-                src2,
-                width
-            }
-        ),
-        (arb_reg(), arb_operand()).prop_map(|(src1, src2)| Op::Cmp { src1, src2 }),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(dst, src1, src2)| Op::Div { dst, src1, src2 }),
-        (arb_reg(), arb_mem(), arb_width()).prop_map(|(dst, addr, size)| Op::Load {
-            dst,
-            addr,
-            size
-        }),
-        (arb_operand(), arb_mem(), arb_width()).prop_map(|(src, addr, size)| Op::Store {
-            src,
-            addr,
-            size
-        }),
-        (0u32..10_000).prop_map(|target| Op::Jmp { target }),
-        (arb_cond(), 0u32..10_000).prop_map(|(cond, target)| Op::Jcc { cond, target }),
-        arb_reg().prop_map(|src| Op::JmpReg { src }),
-        (0u32..10_000).prop_map(|target| Op::Call { target }),
-        Just(Op::Ret),
-        Just(Op::Nop),
-        Just(Op::Halt),
-    ]
+fn arb_op(rng: &mut Rng) -> Op {
+    match rng.gen_range(0..15u32) {
+        0 => Op::MovImm {
+            dst: arb_dst_reg(rng),
+            imm: rng.gen::<u64>(),
+            width: arb_width(rng),
+        },
+        1 => Op::Mov {
+            dst: arb_dst_reg(rng),
+            src: arb_reg(rng),
+            width: arb_width(rng),
+        },
+        2 => Op::CMov {
+            cond: arb_cond(rng),
+            dst: arb_dst_reg(rng),
+            src: arb_reg(rng),
+        },
+        3 => Op::Alu {
+            op: arb_alu(rng),
+            dst: arb_dst_reg(rng),
+            src1: arb_reg(rng),
+            src2: arb_operand(rng),
+            width: arb_width(rng),
+        },
+        4 => Op::Cmp {
+            src1: arb_reg(rng),
+            src2: arb_operand(rng),
+        },
+        5 => Op::Div {
+            dst: arb_dst_reg(rng),
+            src1: arb_reg(rng),
+            src2: arb_reg(rng),
+        },
+        6 => Op::Load {
+            dst: arb_dst_reg(rng),
+            addr: arb_mem(rng),
+            size: arb_width(rng),
+        },
+        7 => Op::Store {
+            src: arb_operand(rng),
+            addr: arb_mem(rng),
+            size: arb_width(rng),
+        },
+        8 => Op::Jmp {
+            target: rng.gen_range(0u32..10_000),
+        },
+        9 => Op::Jcc {
+            cond: arb_cond(rng),
+            target: rng.gen_range(0u32..10_000),
+        },
+        10 => Op::JmpReg { src: arb_reg(rng) },
+        11 => Op::Call {
+            target: rng.gen_range(0u32..10_000),
+        },
+        12 => Op::Ret,
+        13 => Op::Nop,
+        _ => Op::Halt,
+    }
 }
 
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    (arb_op(), any::<bool>()).prop_map(|(op, prot)| Inst { op, prot })
+fn arb_inst(rng: &mut Rng) -> Inst {
+    Inst {
+        op: arb_op(rng),
+        prot: rng.gen::<bool>(),
+    }
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip(insts in prop::collection::vec(arb_inst(), 1..64)) {
+fn arb_insts(rng: &mut Rng) -> Vec<Inst> {
+    let n = rng.gen_range(1..64usize);
+    (0..n).map(|_| arb_inst(rng)).collect()
+}
+
+#[test]
+fn encode_decode_roundtrip() {
+    Checker::new("encode_decode_roundtrip").run(arb_insts, |insts| {
         let program = Program::from_insts(insts.clone());
         let bytes = encode_program(&program);
         let decoded = decode_program(&bytes).unwrap();
-        prop_assert_eq!(decoded, insts);
-    }
+        assert_eq!(&decoded, insts);
+    });
+}
 
-    #[test]
-    fn display_assemble_roundtrip(insts in prop::collection::vec(arb_inst(), 1..64)) {
+#[test]
+fn display_assemble_roundtrip() {
+    Checker::new("display_assemble_roundtrip").run(arb_insts, |insts| {
         let text: String = insts.iter().map(|i| format!("{i}\n")).collect();
         let parsed = assemble(&text).unwrap();
-        prop_assert_eq!(parsed.insts, insts);
-    }
+        assert_eq!(&parsed.insts, insts);
+    });
+}
 
-    #[test]
-    fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
-        let _ = decode_program(&bytes);
-    }
+#[test]
+fn decode_never_panics_on_garbage() {
+    Checker::new("decode_never_panics_on_garbage").run(
+        |rng| {
+            let n = rng.gen_range(0..256usize);
+            let mut bytes = vec![0u8; n];
+            rng.fill_bytes(&mut bytes);
+            bytes
+        },
+        |bytes| {
+            let _ = decode_program(bytes);
+        },
+    );
+}
 
-    #[test]
-    fn src_dst_regs_disjoint_from_flags_rules(inst in arb_inst()) {
-        // RFLAGS is written implicitly exactly by ALU ops and compares
-        // (unless the generated instruction names RFLAGS as its explicit
-        // destination).
-        prop_assume!(inst.explicit_dst() != Some(Reg::RFLAGS));
+/// `RFLAGS` is written implicitly exactly by ALU ops and compares; no
+/// legal instruction names it as an explicit destination, so this holds
+/// with no side conditions.
+#[test]
+fn src_dst_regs_disjoint_from_flags_rules() {
+    Checker::new("src_dst_regs_disjoint_from_flags_rules").run(arb_inst, |inst| {
+        assert!(
+            inst.validate().is_ok(),
+            "generator must produce legal insts"
+        );
         let writes_flags = inst.dst_regs().contains(Reg::RFLAGS);
         let expect = matches!(inst.op, Op::Alu { .. } | Op::Cmp { .. });
-        prop_assert_eq!(writes_flags, expect);
-    }
+        assert_eq!(writes_flags, expect);
+    });
+}
 
-    #[test]
-    fn sensitive_regs_subset_of_srcs(inst in arb_inst()) {
+/// Former proptest counterexample (`shrinks to inst = Inst { op: CMov {
+/// cond: Eq, dst: rflags, src: r0 }, prot: false }`): an instruction
+/// naming `RFLAGS` as its explicit destination broke the flags-writer
+/// invariant above. Such instructions are now rejected in one
+/// consistent place ([`Inst::validate`]), enforced by both the decoder
+/// and the assembler.
+#[test]
+fn regression_cmov_rflags_dst_is_illegal() {
+    let inst = Inst::new(Op::CMov {
+        cond: Cond::Eq,
+        dst: Reg::RFLAGS,
+        src: Reg::R0,
+    });
+    assert_eq!(
+        inst.validate(),
+        Err("rflags cannot be an explicit destination")
+    );
+
+    // The decoder refuses a well-formed encoding of it...
+    let bytes = encode_program(&Program::from_insts(vec![inst]));
+    assert!(matches!(
+        decode_program(&bytes),
+        Err(protean_isa::DecodeError::IllegalInst(_))
+    ));
+
+    // ...and the assembler refuses its textual form (which `Display`
+    // still produces, so the error names the offending line).
+    assert!(assemble(&format!("{inst}\n")).is_err());
+}
+
+#[test]
+fn sensitive_regs_subset_of_srcs() {
+    Checker::new("sensitive_regs_subset_of_srcs").run(arb_inst, |inst| {
         // Transmitted (sensitive) registers are always read by the
         // instruction.
         let t = protean_isa::TransmitterSet::paper();
-        prop_assert!(inst.src_regs().is_superset(t.sensitive_regs(&inst)));
-    }
+        assert!(inst.src_regs().is_superset(t.sensitive_regs(inst)));
+    });
 }
 
-proptest! {
-    /// The prefix-less metadata encoding (paper §IV): strip + apply is
-    /// the identity for arbitrary instruction streams, and the table's
-    /// serialization round-trips.
-    #[test]
-    fn metadata_table_roundtrip(insts in prop::collection::vec(arb_inst(), 1..64)) {
+/// The prefix-less metadata encoding (paper §IV): strip + apply is
+/// the identity for arbitrary instruction streams, and the table's
+/// serialization round-trips.
+#[test]
+fn metadata_table_roundtrip() {
+    Checker::new("metadata_table_roundtrip").run(arb_insts, |insts| {
         use protean_isa::ProtMetadataTable;
         let program = Program::from_insts(insts.clone());
         let (stripped, table) = ProtMetadataTable::strip(&program);
-        prop_assert!(stripped.insts.iter().all(|i| !i.prot));
-        prop_assert_eq!(table.apply(&stripped).insts, insts);
+        assert!(stripped.insts.iter().all(|i| !i.prot));
+        assert_eq!(&table.apply(&stripped).insts, insts);
         let decoded = ProtMetadataTable::decode(&table.encode()).unwrap();
-        prop_assert_eq!(decoded, table);
-    }
+        assert_eq!(decoded, table);
+    });
 }

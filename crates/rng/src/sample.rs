@@ -1,0 +1,128 @@
+//! The [`Sample`] and [`SampleRange`] traits behind the typed-draw
+//! surface (`gen::<T>()`, `gen_range(lo..hi)`).
+
+use crate::xoshiro::Rng;
+use core::ops::{Range, RangeInclusive};
+
+/// Types drawable uniformly over their natural domain.
+///
+/// Integers cover their full range; `bool` is a fair coin; floats are
+/// uniform in `[0, 1)` with 53 (`f64`) / 24 (`f32`) bits of mantissa
+/// entropy.
+pub trait Sample: Sized {
+    /// Draws one value.
+    fn sample(rng: &mut Rng) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl Sample for $t {
+            #[inline]
+            fn sample(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Sample for u128 {
+    #[inline]
+    fn sample(rng: &mut Rng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Sample for i128 {
+    #[inline]
+    fn sample(rng: &mut Rng) -> i128 {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Sample for bool {
+    #[inline]
+    fn sample(rng: &mut Rng) -> bool {
+        // The ++ scrambler's bits are uniformly strong; use the top one.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Sample for f64 {
+    #[inline]
+    fn sample(rng: &mut Rng) -> f64 {
+        // 53 mantissa bits → uniform multiples of 2⁻⁵³ in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    #[inline]
+    fn sample(rng: &mut Rng) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges drawable by [`Rng::gen_range`].
+///
+/// Implemented for `Range` and `RangeInclusive` over the primitive
+/// integers (unbiased) and for `Range` over floats (uniform by linear
+/// interpolation).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_one(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_one(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                // Wrapping subtraction in the unsigned twin maps signed
+                // spans onto 0..2^64 correctly.
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_one(self, rng: &mut Rng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as $u).wrapping_sub(start as $u) as u64;
+                if span == <$u>::MAX as u64 && core::mem::size_of::<$t>() == 8 {
+                    // Full 64-bit domain: every draw is in range.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_one(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit: $t = rng.gen();
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_float!(f32, f64);

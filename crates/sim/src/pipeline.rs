@@ -17,7 +17,7 @@ use crate::{Btb, Rsb, TagePredictor};
 use crate::{Cache, CoreConfig, MemProtTracking, Stats};
 use protean_arch::{ArchState, Memory};
 use protean_isa::{alu_eval, div_eval, Flags, Inst, Op, Operand, Program, Reg, Width};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// Per-destination rename bookkeeping.
 #[derive(Clone, Debug)]
@@ -263,7 +263,7 @@ pub struct Core<'a> {
     l1i: Cache,
     l2: Cache,
     l3: Cache,
-    shadow_unprot: HashSet<u64>,
+    shadow_unprot: BTreeSet<u64>,
 
     // Results.
     stats: Stats,
@@ -321,7 +321,7 @@ impl<'a> Core<'a> {
             l1i,
             l2,
             l3,
-            shadow_unprot: HashSet::new(),
+            shadow_unprot: BTreeSet::new(),
             stats: Stats::default(),
             committed_regs: std::array::from_fn(|i| initial.regs[i]),
             timing: Vec::new(),

@@ -5,9 +5,8 @@
 
 use protean_arch::{ArchState, Emulator, ExitStatus};
 use protean_isa::{assemble, Mem, Program, ProgramBuilder, Reg};
+use protean_rng::Rng;
 use protean_sim::{Core, CoreConfig, DefensePolicy, SimExit, UnsafePolicy};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn run_both(prog: &Program, init: &ArchState, cfg: CoreConfig) {
     run_both_with(prog, init, cfg, Box::new(UnsafePolicy));
@@ -223,7 +222,7 @@ fn mispredicted_branches_flush_correctly() {
     )
     .unwrap();
     let mut init = ArchState::new();
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
     for i in 0..100u64 {
         let v: u64 = if rng.gen_bool(0.5) {
             0
@@ -259,7 +258,7 @@ fn p_core_and_e_core_run_correctly() {
 /// Random structured programs: straight-line blocks, bounded loops,
 /// loads/stores in a data window, calls, divisions.
 fn random_program(seed: u64) -> (Program, ArchState) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = ProgramBuilder::new();
     let data_base = 0x50000u64;
     b.mov_imm(Reg::RSP, 0x80000);
@@ -278,7 +277,7 @@ fn random_program(seed: u64) -> (Program, ArchState) {
         for _ in 0..n_body {
             match rng.gen_range(0..10) {
                 0..=3 => {
-                    let op = protean_isa::AluOp::ALL[rng.gen_range(0..11)];
+                    let op = protean_isa::AluOp::ALL[rng.gen_range(0..11usize)];
                     let dst = Reg::gpr(rng.gen_range(0..8));
                     let s1 = Reg::gpr(rng.gen_range(0..8));
                     if rng.gen_bool(0.5) {
@@ -310,7 +309,7 @@ fn random_program(seed: u64) -> (Program, ArchState) {
                     // Data-dependent conditional skip.
                     let skip = b.label("skip");
                     b.cmp(Reg::gpr(rng.gen_range(0..8)), rng.gen_range(0..100u64));
-                    b.jcc(protean_isa::Cond::ALL[rng.gen_range(0..10)], skip);
+                    b.jcc(protean_isa::Cond::ALL[rng.gen_range(0..10usize)], skip);
                     b.add(
                         Reg::gpr(rng.gen_range(0..8)),
                         Reg::gpr(rng.gen_range(0..8)),

@@ -1,7 +1,7 @@
 //! Property tests on the simulator's hardware structures.
 
-use proptest::prelude::*;
 use protean_sim::{Btb, Cache, CacheConfig, Rsb, TagePredictor};
+use protean_testkit::{Checker, Rng};
 
 fn cache_cfg(sets_pow: u32, ways: usize) -> CacheConfig {
     CacheConfig {
@@ -12,108 +12,161 @@ fn cache_cfg(sets_pow: u32, ways: usize) -> CacheConfig {
     }
 }
 
-proptest! {
-    /// An accessed line is resident until at least `ways` other lines of
-    /// the same set are accessed (LRU lower bound), and `probe` never
-    /// changes state.
-    #[test]
-    fn cache_access_then_probe(addrs in prop::collection::vec(0u64..0x10_0000, 1..128)) {
-        let mut cache = Cache::new(cache_cfg(4, 4), true);
-        for a in &addrs {
-            cache.access(*a);
-            prop_assert!(cache.probe(*a), "just-accessed line must be resident");
-        }
-        prop_assert_eq!(cache.hits + cache.misses, addrs.len() as u64);
-    }
+fn vec_of<T>(
+    rng: &mut Rng,
+    len: std::ops::Range<usize>,
+    mut f: impl FnMut(&mut Rng) -> T,
+) -> Vec<T> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| f(rng)).collect()
+}
 
-    /// meta_any and meta_all agree on uniform ranges and bracket each
-    /// other in general.
-    #[test]
-    fn cache_meta_consistency(
-        base in 0u64..0x1000,
-        size in 1u64..64,
-        set_value in any::<bool>()
-    ) {
-        let mut cache = Cache::new(cache_cfg(3, 2), true);
-        cache.access(base);
-        cache.access(base + size);
-        cache.meta_set(base, size, set_value);
-        let any = cache.meta_any(base, size);
-        let all = cache.meta_all(base, size);
-        // all => any.
-        prop_assert!(!all || any);
-        if set_value {
-            prop_assert!(any);
-        }
-    }
-
-    /// Invalidate really removes a line, and re-fill restores the
-    /// metadata default.
-    #[test]
-    fn cache_invalidate_resets_meta(addr in 0u64..0x8000) {
-        let mut cache = Cache::new(cache_cfg(3, 2), true);
-        cache.access(addr);
-        cache.access(addr + 7); // the range may straddle a line boundary
-        cache.meta_set(addr, 8, false);
-        prop_assert!(!cache.meta_any(addr, 8));
-        cache.invalidate(addr);
-        cache.invalidate(addr + 7);
-        prop_assert!(!cache.probe(addr));
-        cache.access(addr);
-        prop_assert!(cache.meta_any(addr, 8), "refill restores protected default");
-    }
-
-    /// The BTB only ever returns a target that was stored for exactly
-    /// that PC.
-    #[test]
-    fn btb_never_lies(updates in prop::collection::vec((0u64..0x4000, any::<u64>()), 1..64)) {
-        let mut btb = Btb::new(64);
-        let mut last = std::collections::HashMap::new();
-        for (pc, target) in &updates {
-            let pc = pc & !3;
-            btb.update(pc, *target);
-            last.insert(pc, *target);
-        }
-        for (pc, _) in &updates {
-            let pc = pc & !3;
-            if let Some(t) = btb.lookup(pc) {
-                prop_assert_eq!(t, last[&pc], "stale or aliased target for {:#x}", pc);
+/// An accessed line is resident until at least `ways` other lines of
+/// the same set are accessed (LRU lower bound), and `probe` never
+/// changes state.
+#[test]
+fn cache_access_then_probe() {
+    Checker::new("cache_access_then_probe").run(
+        |rng| vec_of(rng, 1..128, |r| r.gen_range(0u64..0x10_0000)),
+        |addrs| {
+            let mut cache = Cache::new(cache_cfg(4, 4), true);
+            for a in addrs {
+                cache.access(*a);
+                assert!(cache.probe(*a), "just-accessed line must be resident");
             }
-        }
-    }
+            assert_eq!(cache.hits + cache.misses, addrs.len() as u64);
+        },
+    );
+}
 
-    /// RSB: pushes and pops behave like a bounded stack (LIFO suffix).
-    #[test]
-    fn rsb_is_a_bounded_stack(values in prop::collection::vec(any::<u64>(), 1..40)) {
-        let cap = 8;
-        let mut rsb = Rsb::new(cap);
-        for v in &values {
-            rsb.push(*v);
-        }
-        let expected: Vec<u64> = values.iter().rev().take(cap).copied().collect();
-        let mut got = Vec::new();
-        while let Some(v) = rsb.pop() {
-            got.push(v);
-        }
-        prop_assert_eq!(got, expected);
-    }
+/// meta_any and meta_all agree on uniform ranges and bracket each
+/// other in general.
+#[test]
+fn cache_meta_consistency() {
+    Checker::new("cache_meta_consistency").run(
+        |rng| {
+            (
+                rng.gen_range(0u64..0x1000),
+                rng.gen_range(1u64..64),
+                rng.gen::<bool>(),
+            )
+        },
+        |&(base, size, set_value)| {
+            let mut cache = Cache::new(cache_cfg(3, 2), true);
+            cache.access(base);
+            cache.access(base + size);
+            cache.meta_set(base, size, set_value);
+            let any = cache.meta_any(base, size);
+            let all = cache.meta_all(base, size);
+            // all => any.
+            assert!(!all || any);
+            if set_value {
+                assert!(any);
+            }
+        },
+    );
+}
 
-    /// TAGE history snapshot/restore is exact, and predictions are
-    /// deterministic functions of (state, pc).
-    #[test]
-    fn tage_snapshot_determinism(
-        pcs in prop::collection::vec(0u64..0x1000, 1..64),
-        outcomes in prop::collection::vec(any::<bool>(), 64)
-    ) {
-        let mut p = TagePredictor::new();
-        for (i, pc) in pcs.iter().enumerate() {
-            let pc = pc & !3;
-            let pred = p.predict(pc);
-            prop_assert_eq!(pred, p.predict(pc), "predict must be repeatable");
-            let h = p.history();
-            p.restore_history(h);
-            prop_assert_eq!(p.history(), h);
-            p.update(pc, pred, outcomes[i % outcomes.len()]);
-        }
-    }
+fn check_invalidate_resets_meta(addr: u64) {
+    let mut cache = Cache::new(cache_cfg(3, 2), true);
+    cache.access(addr);
+    cache.access(addr + 7); // the range may straddle a line boundary
+    cache.meta_set(addr, 8, false);
+    assert!(!cache.meta_any(addr, 8));
+    cache.invalidate(addr);
+    cache.invalidate(addr + 7);
+    assert!(!cache.probe(addr));
+    cache.access(addr);
+    assert!(cache.meta_any(addr, 8), "refill restores protected default");
+}
+
+/// Invalidate really removes a line, and re-fill restores the
+/// metadata default.
+#[test]
+fn cache_invalidate_resets_meta() {
+    Checker::new("cache_invalidate_resets_meta").run(
+        |rng| rng.gen_range(0u64..0x8000),
+        |&addr| check_invalidate_resets_meta(addr),
+    );
+}
+
+/// Former proptest counterexample (`shrinks to addr = 18233`): an
+/// 8-byte range straddling a line boundary, where only the lower line
+/// is re-filled after invalidation. `meta_any` must still report the
+/// protected default because the non-resident upper line contributes
+/// the fill value.
+#[test]
+fn regression_invalidate_straddling_line_boundary() {
+    check_invalidate_resets_meta(18233);
+}
+
+/// The BTB only ever returns a target that was stored for exactly
+/// that PC.
+#[test]
+fn btb_never_lies() {
+    Checker::new("btb_never_lies").run(
+        |rng| vec_of(rng, 1..64, |r| (r.gen_range(0u64..0x4000), r.gen::<u64>())),
+        |updates| {
+            let mut btb = Btb::new(64);
+            let mut last = std::collections::HashMap::new();
+            for (pc, target) in updates {
+                let pc = pc & !3;
+                btb.update(pc, *target);
+                last.insert(pc, *target);
+            }
+            for (pc, _) in updates {
+                let pc = pc & !3;
+                if let Some(t) = btb.lookup(pc) {
+                    assert_eq!(t, last[&pc], "stale or aliased target for {pc:#x}");
+                }
+            }
+        },
+    );
+}
+
+/// RSB: pushes and pops behave like a bounded stack (LIFO suffix).
+#[test]
+fn rsb_is_a_bounded_stack() {
+    Checker::new("rsb_is_a_bounded_stack").run(
+        |rng| vec_of(rng, 1..40, |r| r.gen::<u64>()),
+        |values| {
+            let cap = 8;
+            let mut rsb = Rsb::new(cap);
+            for v in values {
+                rsb.push(*v);
+            }
+            let expected: Vec<u64> = values.iter().rev().take(cap).copied().collect();
+            let mut got = Vec::new();
+            while let Some(v) = rsb.pop() {
+                got.push(v);
+            }
+            assert_eq!(got, expected);
+        },
+    );
+}
+
+/// TAGE history snapshot/restore is exact, and predictions are
+/// deterministic functions of (state, pc).
+#[test]
+fn tage_snapshot_determinism() {
+    Checker::new("tage_snapshot_determinism").run(
+        |rng| {
+            (
+                vec_of(rng, 1..64, |r| r.gen_range(0u64..0x1000)),
+                (0..64).map(|_| rng.gen::<bool>()).collect::<Vec<bool>>(),
+            )
+        },
+        |(pcs, outcomes)| {
+            let mut p = TagePredictor::new();
+            for (i, pc) in pcs.iter().enumerate() {
+                let pc = pc & !3;
+                let pred = p.predict(pc);
+                assert_eq!(pred, p.predict(pc), "predict must be repeatable");
+                let h = p.history();
+                p.restore_history(h);
+                assert_eq!(p.history(), h);
+                p.update(pc, pred, outcomes[i % outcomes.len()]);
+            }
+        },
+    );
 }

@@ -5,7 +5,7 @@
 //! repository exists to prevent.
 
 use protean_arch::ArchState;
-use protean_isa::{assemble, Program, Reg};
+use protean_isa::{assemble, Program};
 use protean_sim::{Core, CoreConfig, SimExit, SimResult, UnsafePolicy};
 
 const ARRAY_A: u64 = 0x10000; // 16 public elements (u64)

@@ -20,8 +20,7 @@
 use crate::{Scale, Suite, Workload};
 use protean_arch::ArchState;
 use protean_isa::{Cond, Mem, ProgramBuilder, Reg, SecurityClass};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use protean_rng::Rng;
 
 const KEY_BASE: u64 = 0x5_0000; // server private key + session keys (secret)
 const REQ_BASE: u64 = 0x6_0000; // request bytes (public)
@@ -232,7 +231,7 @@ pub fn nginx(clients: u64, requests_per_client: u64, scale: Scale) -> Workload {
     let program = b.build().expect("nginx model builds");
     let mut init = ArchState::new();
     init.set_reg(Reg::RSP, STACK_TOP);
-    let mut rng = StdRng::seed_from_u64(51);
+    let mut rng = Rng::seed_from_u64(51);
     for k in 0..64u64 {
         init.mem.write(KEY_BASE + k * 8, 8, rng.gen()); // secrets
     }

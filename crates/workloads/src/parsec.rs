@@ -11,8 +11,7 @@
 use crate::{Scale, Suite, Workload};
 use protean_arch::ArchState;
 use protean_isa::{Cond, Mem, Program, ProgramBuilder, Reg, SecurityClass};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use protean_rng::Rng;
 
 /// Threads per workload (the paper runs 8P+8E; four keeps simulation
 /// time reasonable while exercising L3 sharing).
@@ -63,7 +62,7 @@ fn emit_warmup(b: &mut ProgramBuilder, bytes: u64) {
 fn thread_state(tid: usize, seed: u64, shared_words: u64) -> ArchState {
     let mut s = ArchState::new();
     s.set_reg(Reg::RSP, STACK0 + tid as u64 * 0x1_0000);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for k in 0..shared_words {
         s.mem.write(IN_BASE + k * 8, 8, rng.gen_range(1..10_000));
     }
@@ -151,7 +150,7 @@ fn canneal(scale: Scale) -> Workload {
         // seed: identical shared input).
         let mut s = ArchState::new();
         s.set_reg(Reg::RSP, STACK0 + tid as u64 * 0x1_0000);
-        let mut rng = StdRng::seed_from_u64(22);
+        let mut rng = Rng::seed_from_u64(22);
         let mut order: Vec<u64> = (1..nodes).collect();
         for k in (1..order.len()).rev() {
             order.swap(k, rng.gen_range(0..=k));
@@ -320,10 +319,10 @@ fn ferret(scale: Scale) -> Workload {
         b.halt();
         let mut s = thread_state(tid, 26, 0xc00);
         // The candidate index table.
-        let mut rng = StdRng::seed_from_u64(27);
+        let mut rng = Rng::seed_from_u64(27);
         for k in 0..0x100u64 {
             s.mem
-                .write(IN_BASE + 0x4000 + k * 8, 8, rng.gen_range(0..0x400) * 8);
+                .write(IN_BASE + 0x4000 + k * 8, 8, rng.gen_range(0..0x400u64) * 8);
         }
         (b.build().expect("ferret builds"), s)
     };

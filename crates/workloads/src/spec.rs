@@ -11,8 +11,7 @@
 use crate::{Scale, Suite, Workload};
 use protean_arch::ArchState;
 use protean_isa::{AluOp, Cond, Mem, ProgramBuilder, Reg, SecurityClass, Width};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use protean_rng::Rng;
 
 const DATA: u64 = 0x10_0000;
 const STACK_TOP: u64 = 0xf_0000;
@@ -142,7 +141,7 @@ fn perlbench(scale: Scale) -> Workload {
     b.halt();
 
     let mut init = base_state();
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = Rng::seed_from_u64(11);
     for a in 0..(strings * 24 + 64) {
         init.mem.write_u8(DATA + a, rng.gen());
     }
@@ -196,7 +195,7 @@ fn gcc(scale: Scale) -> Workload {
     b.halt();
 
     let mut init = base_state();
-    let mut rng = StdRng::seed_from_u64(12);
+    let mut rng = Rng::seed_from_u64(12);
     for k in 0..0x3000 {
         init.mem.write(DATA + k * 8, 8, rng.gen_range(0..4096));
     }
@@ -225,7 +224,7 @@ fn mcf(scale: Scale) -> Workload {
 
     let mut init = base_state();
     // A random permutation cycle of nodes.
-    let mut rng = StdRng::seed_from_u64(13);
+    let mut rng = Rng::seed_from_u64(13);
     let mut order: Vec<u64> = (1..nodes).collect();
     for k in (1..order.len()).rev() {
         order.swap(k, rng.gen_range(0..=k));
@@ -285,7 +284,7 @@ fn xalancbmk(scale: Scale) -> Workload {
     b.halt();
 
     let mut init = base_state();
-    let mut rng = StdRng::seed_from_u64(14);
+    let mut rng = Rng::seed_from_u64(14);
     for k in 0..0x800u64 {
         // Half the table occupied.
         let val = if rng.gen_bool(0.5) {
@@ -347,7 +346,7 @@ fn deepsjeng(scale: Scale) -> Workload {
     b.halt();
 
     let mut init = base_state();
-    let mut rng = StdRng::seed_from_u64(15);
+    let mut rng = Rng::seed_from_u64(15);
     for k in 0..0x400u64 {
         init.mem.write(DATA + k * 8, 8, rng.gen_range(0..256));
     }
@@ -463,7 +462,7 @@ fn omnetpp(scale: Scale) -> Workload {
     b.halt();
 
     let mut init = base_state();
-    let mut rng = StdRng::seed_from_u64(16);
+    let mut rng = Rng::seed_from_u64(16);
     for k in 0..256u64 {
         init.mem
             .write(heap + k * 8, 8, rng.gen_range(0..1u64 << 40));
@@ -497,7 +496,7 @@ fn lbm(scale: Scale) -> Workload {
     b.halt();
 
     let mut init = base_state();
-    let mut rng = StdRng::seed_from_u64(17);
+    let mut rng = Rng::seed_from_u64(17);
     for k in 0..(cells + 4) {
         init.mem.write(DATA + k * 8, 8, rng.gen_range(0..1000));
     }
@@ -547,7 +546,7 @@ fn x264(scale: Scale) -> Workload {
     b.halt();
 
     let mut init = base_state();
-    let mut rng = StdRng::seed_from_u64(18);
+    let mut rng = Rng::seed_from_u64(18);
     for k in 0..0x1000u64 {
         init.mem.write(DATA + k * 8, 8, rng.gen_range(0..0x4000));
     }
@@ -591,14 +590,14 @@ fn xz(scale: Scale) -> Workload {
     b.halt();
 
     let mut init = base_state();
-    let mut rng = StdRng::seed_from_u64(19);
+    let mut rng = Rng::seed_from_u64(19);
     for k in 0..0x2000u64 {
         init.mem
             .write(DATA + k * 8, 8, rng.gen::<u64>() & 0xffff_ffff);
     }
     for k in 0..0x200u64 {
         init.mem
-            .write(DATA + 0x8000 + k * 8, 8, rng.gen_range(0..0x200) * 8);
+            .write(DATA + 0x8000 + k * 8, 8, rng.gen_range(0..0x200u64) * 8);
     }
     workload("xz.s", b, init, 70_000 * scale.0)
 }
@@ -631,7 +630,7 @@ fn nab(scale: Scale) -> Workload {
     b.halt();
 
     let mut init = base_state();
-    let mut rng = StdRng::seed_from_u64(20);
+    let mut rng = Rng::seed_from_u64(20);
     for k in 0..0x1000u64 {
         init.mem.write(DATA + k * 8, 8, rng.gen_range(0..1 << 20));
     }

@@ -13,8 +13,7 @@
 use crate::{Scale, Suite, Workload};
 use protean_arch::ArchState;
 use protean_isa::{Cond, Mem, ProgramBuilder, Reg, SecurityClass, Width};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use protean_rng::Rng;
 
 /// Linear-memory base (the sandbox).
 const LINMEM: u64 = 0x40_0000;
@@ -48,7 +47,7 @@ fn workload(name: &str, b: ProgramBuilder, init: ArchState, max_insts: u64) -> W
 fn state(seed: u64, words: u64) -> ArchState {
     let mut s = ArchState::new();
     s.set_reg(Reg::RSP, STACK_TOP);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for k in 0..words {
         s.mem.write(LINMEM + k * 8, 8, rng.gen_range(0..0x8000));
     }
@@ -143,7 +142,7 @@ fn mcf(scale: Scale) -> Workload {
     let mut s = ArchState::new();
     s.set_reg(Reg::RSP, STACK_TOP);
     let nodes: u64 = 2 * 1024; // revisited ~4x: mostly warm after pass 1
-    let mut rng = StdRng::seed_from_u64(32);
+    let mut rng = Rng::seed_from_u64(32);
     let mut order: Vec<u64> = (1..nodes).collect();
     for k in (1..order.len()).rev() {
         order.swap(k, rng.gen_range(0..=k));
