@@ -15,7 +15,14 @@ cargo fmt --check
 echo "== cargo build --release --offline --workspace --all-targets"
 cargo build --release --offline --workspace --all-targets
 
-echo "== cargo test -q --offline --workspace"
-cargo test -q --offline --workspace
+echo "== cargo test -q --offline --workspace (PROTEAN_JOBS=1, serial job pool)"
+PROTEAN_JOBS=1 cargo test -q --offline --workspace
+
+echo "== cargo test -q --offline --workspace (PROTEAN_JOBS unset, all cores)"
+# Second pass with the job pool at its default width: campaign/bench
+# fan-out must be byte-identical to the serial pass (the protean-jobs
+# determinism contract), and the pool's panic propagation and ordered
+# collection get exercised under real parallelism.
+env -u PROTEAN_JOBS cargo test -q --offline --workspace
 
 echo "CI OK"

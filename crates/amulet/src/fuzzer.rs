@@ -105,6 +105,10 @@ pub struct FuzzConfig {
     /// Restrict gadget segments to one template (targeted validation of
     /// a single speculation primitive); `None` = the full mix.
     pub only_template: Option<GadgetTemplate>,
+    /// Worker threads for the per-program fan-out: `None` resolves via
+    /// `PROTEAN_JOBS` / available parallelism (see `protean_jobs`).
+    /// Reports are byte-identical at any worker count.
+    pub workers: Option<usize>,
 }
 
 impl FuzzConfig {
@@ -121,6 +125,7 @@ impl FuzzConfig {
             max_steps: 60_000,
             stop_at_first: false,
             only_template: None,
+            workers: None,
         }
     }
 }
@@ -154,6 +159,15 @@ pub struct Report {
 
 /// Runs a fuzzing campaign against `policy_factory`'s defense.
 ///
+/// Programs are fuzzed **in parallel** (one job per generated program,
+/// see [`FuzzConfig::workers`] and `protean_jobs`): every per-program
+/// seed is derived up front from `cfg.gen.seed`, each job owns its
+/// private RNG, and per-program results are merged in program order, so
+/// the report is byte-identical at any worker count. Under
+/// `stop_at_first`, later programs may be fuzzed speculatively, but the
+/// merge discards everything after the first true positive — again
+/// matching the serial report exactly.
+///
 /// # Examples
 ///
 /// ```
@@ -167,67 +181,111 @@ pub struct Report {
 /// let report = fuzz(&cfg, &|| Box::new(UnsafePolicy));
 /// assert!(report.tests > 0);
 /// ```
-pub fn fuzz(cfg: &FuzzConfig, policy_factory: &dyn Fn() -> Box<dyn DefensePolicy>) -> Report {
+pub fn fuzz(
+    cfg: &FuzzConfig,
+    policy_factory: &(dyn Fn() -> Box<dyn DefensePolicy> + Sync),
+) -> Report {
+    let workers = cfg.workers.unwrap_or_else(protean_jobs::worker_count);
+    let partials = protean_jobs::map_indexed_with(workers, cfg.programs, |p| {
+        fuzz_one_program(cfg, p, policy_factory)
+    });
+
+    // Order-preserving merge: identical to the serial accumulation.
     let mut report = Report::default();
-    for p in 0..cfg.programs {
-        let seed = cfg.gen.seed.wrapping_add(p as u64);
-        let gen_cfg = GenConfig {
-            seed,
-            ..cfg.gen.clone()
-        };
-        let raw = match cfg.only_template {
-            Some(t) => generator::generate_with_template(&gen_cfg, t),
-            None => generator::generate(&gen_cfg),
-        };
-        let program = compile_with(&raw, cfg.pass).program;
-        let observer = cfg.contract.observer(&program);
-        let mut rng = Rng::seed_from_u64(seed ^ 0x5eed);
-
-        // The base input.
-        let base = make_input(&mut rng);
-        let Some(base_trace) = seq_trace(&program, &base, &observer, cfg.max_steps) else {
-            continue; // non-terminating or bad control flow: skip program
-        };
-        let base_hw = run_hw(&program, &base, cfg, policy_factory());
-
-        for i in 0..cfg.inputs_per_program {
-            // Mutate secrets only.
-            let mut mutant = base.clone();
-            randomize_secrets(&mut mutant, &mut rng);
-            let Some(mutant_trace) = seq_trace(&program, &mutant, &observer, cfg.max_steps) else {
-                continue;
-            };
-            if mutant_trace != base_trace {
-                // Not contract-equivalent: the difference is permitted.
-                report.pairs_rejected += 1;
-                continue;
+    for partial in partials {
+        report.tests += partial.report.tests;
+        report.pairs_rejected += partial.report.pairs_rejected;
+        report.violations += partial.report.violations;
+        report.false_positives += partial.report.false_positives;
+        for v in partial.report.examples {
+            if report.examples.len() < 8 {
+                report.examples.push(v);
             }
-            let mutant_hw = run_hw(&program, &mutant, cfg, policy_factory());
-            report.tests += 2;
-            let obs_a = cfg.adversary.observe(&base_hw);
-            let obs_b = cfg.adversary.observe(&mutant_hw);
-            if obs_a != obs_b {
-                // Candidate violation; apply the false-positive filter.
-                let fp = base_hw.committed_idxs != mutant_hw.committed_idxs;
-                if fp {
-                    report.false_positives += 1;
-                } else {
-                    report.violations += 1;
-                }
-                if report.examples.len() < 8 {
-                    report.examples.push(Violation {
-                        program_seed: seed,
-                        input_index: i,
-                        false_positive: fp,
-                    });
-                }
-                if !fp && cfg.stop_at_first {
-                    return report;
-                }
-            }
+        }
+        if partial.stopped {
+            break; // stop_at_first: discard speculative later programs
         }
     }
     report
+}
+
+/// One program's share of a campaign.
+struct ProgramOutcome {
+    report: Report,
+    /// `stop_at_first` found a true positive in this program: the merge
+    /// must not consume any later program's results.
+    stopped: bool,
+}
+
+/// Fuzzes the `p`-th program of the campaign. Pure function of
+/// `(cfg, p)`: the per-program seed and RNG are derived here, never
+/// shared across jobs.
+fn fuzz_one_program(
+    cfg: &FuzzConfig,
+    p: usize,
+    policy_factory: &(dyn Fn() -> Box<dyn DefensePolicy> + Sync),
+) -> ProgramOutcome {
+    let mut report = Report::default();
+    let mut stopped = false;
+    let seed = cfg.gen.seed.wrapping_add(p as u64);
+    let gen_cfg = GenConfig {
+        seed,
+        ..cfg.gen.clone()
+    };
+    let raw = match cfg.only_template {
+        Some(t) => generator::generate_with_template(&gen_cfg, t),
+        None => generator::generate(&gen_cfg),
+    };
+    let program = compile_with(&raw, cfg.pass).program;
+    let observer = cfg.contract.observer(&program);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5eed);
+
+    // The base input.
+    let base = make_input(&mut rng);
+    let Some(base_trace) = seq_trace(&program, &base, &observer, cfg.max_steps) else {
+        // Non-terminating or bad control flow: skip program.
+        return ProgramOutcome { report, stopped };
+    };
+    let base_hw = run_hw(&program, &base, cfg, policy_factory());
+
+    for i in 0..cfg.inputs_per_program {
+        // Mutate secrets only.
+        let mut mutant = base.clone();
+        randomize_secrets(&mut mutant, &mut rng);
+        let Some(mutant_trace) = seq_trace(&program, &mutant, &observer, cfg.max_steps) else {
+            continue;
+        };
+        if mutant_trace != base_trace {
+            // Not contract-equivalent: the difference is permitted.
+            report.pairs_rejected += 1;
+            continue;
+        }
+        let mutant_hw = run_hw(&program, &mutant, cfg, policy_factory());
+        report.tests += 2;
+        let obs_a = cfg.adversary.observe(&base_hw);
+        let obs_b = cfg.adversary.observe(&mutant_hw);
+        if obs_a != obs_b {
+            // Candidate violation; apply the false-positive filter.
+            let fp = base_hw.committed_idxs != mutant_hw.committed_idxs;
+            if fp {
+                report.false_positives += 1;
+            } else {
+                report.violations += 1;
+            }
+            if report.examples.len() < 8 {
+                report.examples.push(Violation {
+                    program_seed: seed,
+                    input_index: i,
+                    false_positive: fp,
+                });
+            }
+            if !fp && cfg.stop_at_first {
+                stopped = true;
+                break;
+            }
+        }
+    }
+    ProgramOutcome { report, stopped }
 }
 
 /// Builds a base input: cold chain, public data, registers, secrets.

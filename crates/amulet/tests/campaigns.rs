@@ -49,7 +49,7 @@ fn unsafe_core_violates_unprot_seq_on_rand_binaries() {
 fn assert_clean(
     pass: Pass,
     contract: ContractKind,
-    factory: &dyn Fn() -> Box<dyn DefensePolicy>,
+    factory: &(dyn Fn() -> Box<dyn DefensePolicy> + Sync),
     name: &str,
 ) {
     for adversary in [Adversary::CacheTlb, Adversary::Timing] {
@@ -192,7 +192,7 @@ fn extended_protean_campaigns() {
             cfg.gen.seed = 0xfeed;
             for factory in [
                 (&|| Box::new(ProtDelayPolicy::new()) as Box<dyn DefensePolicy>)
-                    as &dyn Fn() -> Box<dyn DefensePolicy>,
+                    as &(dyn Fn() -> Box<dyn DefensePolicy> + Sync),
                 &|| Box::new(ProtTrackPolicy::new()),
             ] {
                 let r = fuzz(&cfg, factory);

@@ -1,20 +1,27 @@
 //! A fuzzing campaign is a pure function of its seed: two runs with an
 //! identical configuration must produce byte-identical reports —
 //! counts, false-positive filtering, and every recorded violation
-//! example. This is what makes a reported campaign reproducible and is
-//! relied on by the regression workflow (re-run the seed from a report
-//! to replay its findings).
+//! example — **at any worker count**. This is what makes a reported
+//! campaign reproducible and is relied on by the regression workflow
+//! (re-run the seed from a report to replay its findings): a report
+//! produced by a 32-worker sweep must replay exactly on a single-worker
+//! laptop.
 
 use protean_amulet::{fuzz, Adversary, ContractKind, FuzzConfig, Report};
 use protean_cc::Pass;
 use protean_sim::UnsafePolicy;
 
-fn campaign(seed: u64) -> Report {
+fn campaign_with(seed: u64, workers: usize) -> Report {
     let mut cfg = FuzzConfig::quick(Pass::Arch, ContractKind::ArchSeq, Adversary::CacheTlb);
     cfg.programs = 12;
     cfg.inputs_per_program = 3;
     cfg.gen.seed = seed;
+    cfg.workers = Some(workers);
     fuzz(&cfg, &|| Box::new(UnsafePolicy))
+}
+
+fn campaign(seed: u64) -> Report {
+    campaign_with(seed, 1)
 }
 
 #[test]
@@ -28,6 +35,44 @@ fn same_seed_yields_byte_identical_reports() {
         format!("{first:?}"),
         format!("{second:?}"),
         "same-seed campaigns diverged"
+    );
+}
+
+#[test]
+fn worker_count_does_not_change_the_report() {
+    // The parallel campaign driver's contract: per-program jobs merged
+    // in program order ⇒ 1 worker and 4 workers produce byte-identical
+    // reports, violation examples included.
+    let serial = campaign_with(0x0dd5_eed5, 1);
+    let parallel = campaign_with(0x0dd5_eed5, 4);
+    assert!(serial.violations > 0, "campaign found nothing: {serial:?}");
+    assert_eq!(
+        format!("{serial:?}"),
+        format!("{parallel:?}"),
+        "worker count leaked into the report"
+    );
+}
+
+#[test]
+fn worker_count_does_not_change_stop_at_first() {
+    // stop_at_first truncates the merge at the first true positive;
+    // speculative work by extra workers must be discarded.
+    let run = |workers: usize| {
+        let mut cfg = FuzzConfig::quick(Pass::Arch, ContractKind::ArchSeq, Adversary::CacheTlb);
+        cfg.programs = 12;
+        cfg.inputs_per_program = 3;
+        cfg.gen.seed = 0x0dd5_eed5;
+        cfg.stop_at_first = true;
+        cfg.workers = Some(workers);
+        fuzz(&cfg, &|| Box::new(UnsafePolicy))
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert!(serial.violations > 0, "stop_at_first found nothing");
+    assert_eq!(
+        format!("{serial:?}"),
+        format!("{parallel:?}"),
+        "stop_at_first diverged across worker counts"
     );
 }
 

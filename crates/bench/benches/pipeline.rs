@@ -7,7 +7,7 @@
 
 use protean_arch::ArchState;
 use protean_baselines::{SptPolicy, SptSbPolicy, SttPolicy};
-use protean_bench::harness::Bench;
+use protean_bench::harness::{Bench, Case};
 use protean_cc::{compile_with, Pass};
 use protean_core::{AccessPredictor, ProtDelayPolicy, ProtTrackPolicy};
 use protean_isa::{assemble, Program};
@@ -54,12 +54,20 @@ fn bench_pipeline() {
         ("prot-delay", || Box::new(ProtDelayPolicy::new())),
         ("prot-track", || Box::new(ProtTrackPolicy::new())),
     ];
-    for (name, make) in defenses {
-        bench.run(name, || {
-            let core = Core::new(&prog, CoreConfig::p_core(), make(), &init);
-            core.run(1_000_000, 60_000_000)
-        });
-    }
+    // One parallel job per defense case; samples within a case stay
+    // serial (see `Bench::run_parallel`).
+    let cases: Vec<Case<'_, _>> = defenses
+        .into_iter()
+        .map(|(name, make)| {
+            let (prog, init) = (&prog, &init);
+            let f: Box<dyn Fn() -> _ + Send + Sync> = Box::new(move || {
+                let core = Core::new(prog, CoreConfig::p_core(), make(), init);
+                core.run(1_000_000, 60_000_000)
+            });
+            (name, f)
+        })
+        .collect();
+    bench.run_parallel(cases);
 }
 
 fn bench_protcc() {

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo bench --bench tables`.
 
-use protean_bench::harness::Bench;
+use protean_bench::harness::{Bench, Case};
 use protean_bench::{binary_for, run_workload, Binary, Defense};
 use protean_sim::CoreConfig;
 use protean_workloads::{arch_wasm, ct_crypto, cts_crypto, nginx, unr_crypto, Scale};
@@ -24,17 +24,25 @@ fn main() {
         ),
         ("nginx.c1r1/SPT-SB", nginx(1, 1, Scale(1)), Defense::SptSb),
     ];
-    for (name, w, baseline) in rows {
-        bench.run(name, || {
-            let base = run_workload(&w, &core, Defense::Unsafe, Binary::Base);
-            let bl = run_workload(&w, &core, baseline, Binary::Base);
-            let track = run_workload(
-                &w,
-                &core,
-                Defense::ProtTrack,
-                binary_for(Defense::ProtTrack, w.class),
-            );
-            (base.cycles, bl.cycles, track.cycles)
-        });
-    }
+    // One parallel job per table row; each row's three simulations stay
+    // serial inside its job (see `Bench::run_parallel`).
+    let cases: Vec<Case<'_, _>> = rows
+        .iter()
+        .map(|(name, w, baseline)| {
+            let core = &core;
+            let f: Box<dyn Fn() -> _ + Send + Sync> = Box::new(move || {
+                let base = run_workload(w, core, Defense::Unsafe, Binary::Base);
+                let bl = run_workload(w, core, *baseline, Binary::Base);
+                let track = run_workload(
+                    w,
+                    core,
+                    Defense::ProtTrack,
+                    binary_for(Defense::ProtTrack, w.class),
+                );
+                (base.cycles, bl.cycles, track.cycles)
+            });
+            (*name, f)
+        })
+        .collect();
+    bench.run_parallel(cases);
 }

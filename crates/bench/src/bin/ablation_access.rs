@@ -23,21 +23,33 @@ fn main() {
         "CT overhead".into(),
     ]);
     t.sep();
-    for (label, d) in [
+    let rows = [
         ("ProtDelay", Defense::ProtDelay),
         ("raw AccessDelay", Defense::RawAccessDelay),
         ("ProtTrack", Defense::ProtTrack),
         ("raw AccessTrack", Defense::RawAccessTrack),
-    ] {
-        let mut cols = Vec::new();
+    ];
+    // One job per (mechanism × pass × workload) cell; aggregation below
+    // consumes cells in serial iteration order (byte-identical stdout at
+    // any PROTEAN_JOBS setting).
+    let mut cells: Vec<(Defense, Pass, usize)> = Vec::new();
+    for (_, d) in &rows {
         for pass in [Pass::Arch, Pass::Ct] {
-            let mut norms = Vec::new();
-            for w in &ws {
-                let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
-                let c = run_workload(w, &core, d, Binary::SingleClass(pass)).cycles as f64;
-                norms.push(c / base);
+            for w in 0..ws.len() {
+                cells.push((*d, pass, w));
             }
-            cols.push(format!("{:+.1}%", (geomean(&norms) - 1.0) * 100.0));
+        }
+    }
+    let norms = protean_jobs::map(&cells, |_, &(d, pass, w)| {
+        let base = run_workload(&ws[w], &core, Defense::Unsafe, Binary::Base).cycles as f64;
+        run_workload(&ws[w], &core, d, Binary::SingleClass(pass)).cycles as f64 / base
+    });
+    let mut chunks = norms.chunks_exact(ws.len());
+    for (label, _) in rows {
+        let mut cols = Vec::new();
+        for _ in 0..2 {
+            let chunk = chunks.next().expect("one chunk per pass");
+            cols.push(format!("{:+.1}%", (geomean(chunk) - 1.0) * 100.0));
         }
         t.row(&[label.into(), cols[0].clone(), cols[1].clone()]);
     }

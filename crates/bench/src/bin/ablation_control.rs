@@ -34,15 +34,19 @@ fn main() {
             Binary::SingleClass(Pass::Ct),
         ),
     ];
-    for (label, d, binary) in configs {
-        let mut norms = Vec::new();
-        for w in &ws {
-            let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
-            norms.push(run_workload(w, &core, d, binary).cycles as f64 / base);
-        }
+    // One job per (config × workload) cell, printed in config order.
+    let cells: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|c| (0..ws.len()).map(move |w| (c, w)))
+        .collect();
+    let norms = protean_jobs::map(&cells, |_, &(c, w)| {
+        let (_, d, binary) = configs[c];
+        let base = run_workload(&ws[w], &core, Defense::Unsafe, Binary::Base).cycles as f64;
+        run_workload(&ws[w], &core, d, binary).cycles as f64 / base
+    });
+    for ((label, _, _), chunk) in configs.iter().zip(norms.chunks_exact(ws.len())) {
         t.row(&[
-            label.into(),
-            format!("{:+.1}%", (geomean(&norms) - 1.0) * 100.0),
+            (*label).into(),
+            format!("{:+.1}%", (geomean(chunk) - 1.0) * 100.0),
         ]);
     }
 }

@@ -17,7 +17,7 @@ fn main() {
     println!("Ablation (IX-A7): secure-baseline bug-fix overhead, SPEC2017int P-core");
     t.row(&["config".into(), "overhead".into()]);
     t.sep();
-    for (label, d) in [
+    let configs = [
         ("STT original", Defense::SttOriginal),
         ("STT fixed", Defense::Stt),
         ("SPT original", Defense::SptOriginal),
@@ -25,15 +25,19 @@ fn main() {
         ("SPT fixed", Defense::Spt),
         ("SPT-SB original", Defense::SptSbOriginal),
         ("SPT-SB fixed", Defense::SptSb),
-    ] {
-        let mut norms = Vec::new();
-        for w in &ws {
-            let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
-            norms.push(run_workload(w, &core, d, Binary::Base).cycles as f64 / base);
-        }
+    ];
+    // One job per (config × workload) cell, printed in config order.
+    let cells: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|c| (0..ws.len()).map(move |w| (c, w)))
+        .collect();
+    let norms = protean_jobs::map(&cells, |_, &(c, w)| {
+        let base = run_workload(&ws[w], &core, Defense::Unsafe, Binary::Base).cycles as f64;
+        run_workload(&ws[w], &core, configs[c].1, Binary::Base).cycles as f64 / base
+    });
+    for ((label, _), chunk) in configs.iter().zip(norms.chunks_exact(ws.len())) {
         t.row(&[
-            label.into(),
-            format!("{:+.1}%", (geomean(&norms) - 1.0) * 100.0),
+            (*label).into(),
+            format!("{:+.1}%", (geomean(chunk) - 1.0) * 100.0),
         ]);
     }
 }

@@ -21,23 +21,34 @@ fn main() {
         "CT overhead".into(),
     ]);
     t.sep();
-    for (label, mode) in [
+    let variants = [
         ("disabled", MemProtTracking::None),
         ("tagged L1D", MemProtTracking::TaggedL1d),
         ("perfect shadow", MemProtTracking::PerfectShadow),
-    ] {
+    ];
+    // One job per (variant × pass × workload) cell; each cell runs its
+    // own base because the tracking mode is a *core* parameter.
+    let mut cells: Vec<(MemProtTracking, Pass, usize)> = Vec::new();
+    for (_, mode) in &variants {
+        for pass in [Pass::Arch, Pass::Ct] {
+            for w in 0..ws.len() {
+                cells.push((*mode, pass, w));
+            }
+        }
+    }
+    let norms = protean_jobs::map(&cells, |_, &(mode, pass, w)| {
         let mut core = CoreConfig::p_core();
         core.mem_prot = mode;
+        let base = run_workload(&ws[w], &core, Defense::Unsafe, Binary::Base).cycles as f64;
+        run_workload(&ws[w], &core, Defense::ProtTrack, Binary::SingleClass(pass)).cycles as f64
+            / base
+    });
+    let mut chunks = norms.chunks_exact(ws.len());
+    for (label, _) in variants {
         let mut cols = Vec::new();
-        for pass in [Pass::Arch, Pass::Ct] {
-            let mut norms = Vec::new();
-            for w in &ws {
-                let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
-                let d = run_workload(w, &core, Defense::ProtTrack, Binary::SingleClass(pass)).cycles
-                    as f64;
-                norms.push(d / base);
-            }
-            cols.push(format!("{:+.1}%", (geomean(&norms) - 1.0) * 100.0));
+        for _ in 0..2 {
+            let chunk = chunks.next().expect("one chunk per pass");
+            cols.push(format!("{:+.1}%", (geomean(chunk) - 1.0) * 100.0));
         }
         t.row(&[label.into(), cols[0].clone(), cols[1].clone()]);
     }

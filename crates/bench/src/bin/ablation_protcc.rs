@@ -23,18 +23,24 @@ fn main() {
         "runtime (unsafe HW)".into(),
     ]);
     t.sep();
-    for pass in [Pass::Cts, Pass::Ct, Pass::Unr] {
-        let mut size = Vec::new();
-        let mut runtime = Vec::new();
-        for w in &ws {
-            let (program, _) = &w.threads[0];
-            let instrumented = prepare(program, Binary::SingleClass(pass));
-            size.push(code_size(&instrumented) as f64 / code_size(program) as f64);
-            let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
-            let inst =
-                run_workload(w, &core, Defense::Unsafe, Binary::SingleClass(pass)).cycles as f64;
-            runtime.push(inst / base);
-        }
+    // One job per (pass × workload) cell, printed in pass order.
+    let passes = [Pass::Cts, Pass::Ct, Pass::Unr];
+    let cells: Vec<(Pass, usize)> = passes
+        .iter()
+        .flat_map(|&p| (0..ws.len()).map(move |w| (p, w)))
+        .collect();
+    let measured = protean_jobs::map(&cells, |_, &(pass, w)| {
+        let w = &ws[w];
+        let (program, _) = &w.threads[0];
+        let instrumented = prepare(program, Binary::SingleClass(pass));
+        let size = code_size(&instrumented) as f64 / code_size(program) as f64;
+        let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
+        let inst = run_workload(w, &core, Defense::Unsafe, Binary::SingleClass(pass)).cycles as f64;
+        (size, inst / base)
+    });
+    for (pass, chunk) in passes.iter().zip(measured.chunks_exact(ws.len())) {
+        let size: Vec<f64> = chunk.iter().map(|(s, _)| *s).collect();
+        let runtime: Vec<f64> = chunk.iter().map(|(_, r)| *r).collect();
         t.row(&[
             pass.name().into(),
             format!("{:+.1}%", (geomean(&size) - 1.0) * 100.0),

@@ -32,26 +32,39 @@ fn main() {
         ("unbounded".into(), Defense::ProtTrackUnbounded),
     ];
 
-    let bases: Vec<f64> = workloads
-        .iter()
-        .map(|w| run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64)
-        .collect();
+    // Unsafe baselines first (one job per workload), then one job per
+    // (predictor size × pass × workload) cell; per-size aggregation
+    // consumes cells in the serial iteration order, so the figure is
+    // byte-identical at any `PROTEAN_JOBS` setting.
+    let bases: Vec<f64> = protean_jobs::map(&workloads, |_, w| {
+        run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64
+    });
+    let mut cells: Vec<(Defense, Pass, usize)> = Vec::new();
+    for (_, defense) in sizes {
+        for pass in [Pass::Arch, Pass::Ct] {
+            for w in 0..workloads.len() {
+                cells.push((*defense, pass, w));
+            }
+        }
+    }
+    let measured = protean_jobs::map(&cells, |_, &(defense, pass, w)| {
+        let r = run_workload(&workloads[w], &core, defense, Binary::SingleClass(pass));
+        (r.cycles as f64 / bases[w], r.mispred_rate)
+    });
 
     let t = TablePrinter::new(&[12, 16, 16]);
     println!("Figure 5: ProtTrack access-predictor sensitivity (SPEC2017int, P-core)");
     println!("(averaged over ProtCC-ARCH and ProtCC-CT binaries)");
     t.row(&["entries".into(), "mispred rate".into(), "overhead".into()]);
     t.sep();
-    for (label, defense) in sizes {
+    let per_size = 2 * workloads.len();
+    for (s, (label, _)) in sizes.iter().enumerate() {
         let mut norms = Vec::new();
         let mut rates = Vec::new();
-        for pass in [Pass::Arch, Pass::Ct] {
-            for (w, base) in workloads.iter().zip(&bases) {
-                let r = run_workload(w, &core, *defense, Binary::SingleClass(pass));
-                norms.push(r.cycles as f64 / base);
-                if let Some(m) = r.mispred_rate {
-                    rates.push(m);
-                }
+        for (norm, mispred) in &measured[s * per_size..(s + 1) * per_size] {
+            norms.push(*norm);
+            if let Some(m) = mispred {
+                rates.push(*m);
             }
         }
         let rate = rates.iter().sum::<f64>() / rates.len().max(1) as f64;

@@ -11,8 +11,11 @@ use protean_cc::Pass;
 use protean_sim::CoreConfig;
 use protean_workloads::{parsec, spec2017, Scale, Workload};
 
+// One `protean-jobs` job per benchmark row (the row's five simulations
+// stay serial inside the job); rows print after ordered collection, so
+// stdout is byte-identical at any `PROTEAN_JOBS` setting.
 fn series(workloads: &[Workload], core: &CoreConfig, t: &TablePrinter, acc: &mut [Vec<f64>; 4]) {
-    for w in workloads {
+    let rows = protean_jobs::map(workloads, |_, w| {
         let base = run_workload(w, core, Defense::Unsafe, Binary::Base).cycles as f64;
         let stt = run_workload(w, core, Defense::Stt, Binary::Base).cycles as f64 / base;
         let t_arch = run_workload(w, core, Defense::ProtTrack, Binary::SingleClass(Pass::Arch))
@@ -22,16 +25,18 @@ fn series(workloads: &[Workload], core: &CoreConfig, t: &TablePrinter, acc: &mut
         let t_ct = run_workload(w, core, Defense::ProtTrack, Binary::SingleClass(Pass::Ct)).cycles
             as f64
             / base;
-        acc[0].push(stt);
-        acc[1].push(t_arch);
-        acc[2].push(spt);
-        acc[3].push(t_ct);
+        [stt, t_arch, spt, t_ct]
+    });
+    for (w, row) in workloads.iter().zip(rows) {
+        for (col, v) in acc.iter_mut().zip(row) {
+            col.push(v);
+        }
         t.row(&[
             w.name.clone(),
-            fmt_norm(stt),
-            fmt_norm(t_arch),
-            fmt_norm(spt),
-            fmt_norm(t_ct),
+            fmt_norm(row[0]),
+            fmt_norm(row[1]),
+            fmt_norm(row[2]),
+            fmt_norm(row[3]),
         ]);
     }
 }

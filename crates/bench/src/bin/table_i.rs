@@ -14,15 +14,15 @@ use protean_core::area;
 use protean_sim::CoreConfig;
 use protean_workloads::{arch_wasm, ct_crypto, cts_crypto, nginx, unr_crypto, Scale, Workload};
 
-fn overhead(ws: &[Workload], d: Defense, binary: impl Fn(&Workload) -> Binary) -> f64 {
+// One `protean-jobs` job per workload (base + defense run); the geomean
+// consumes results in workload order, so the table is byte-identical at
+// any `PROTEAN_JOBS` setting.
+fn overhead(ws: &[Workload], d: Defense, binary: impl Fn(&Workload) -> Binary + Sync) -> f64 {
     let core = CoreConfig::p_core();
-    let norms: Vec<f64> = ws
-        .iter()
-        .map(|w| {
-            let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
-            run_workload(w, &core, d, binary(w)).cycles as f64 / base
-        })
-        .collect();
+    let norms: Vec<f64> = protean_jobs::map(ws, |_, w| {
+        let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
+        run_workload(w, &core, d, binary(w)).cycles as f64 / base
+    });
     (geomean(&norms) - 1.0) * 100.0
 }
 

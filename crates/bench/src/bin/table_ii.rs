@@ -5,6 +5,11 @@
 //! `table-ii.py` (§A-F2); expect many violations for the unsafe column
 //! and zero true positives for Protean.
 //!
+//! Every table cell is one job on the `protean-jobs` pool (and each
+//! cell's campaign fans out further, one job per generated program), so
+//! the table saturates the machine; `PROTEAN_JOBS` caps the worker
+//! count and the printed table is byte-identical at any setting.
+//!
 //! ```text
 //! cargo run --release -p protean-bench --bin table_ii [--quick]
 //! ```
@@ -19,7 +24,7 @@ fn campaign(
     pass: Pass,
     contract: ContractKind,
     programs: usize,
-    factory: &dyn Fn() -> Box<dyn DefensePolicy>,
+    factory: &(dyn Fn() -> Box<dyn DefensePolicy> + Sync),
 ) -> Report {
     // Both adversary models, like the paper's two-stage setup (§VII-B2).
     let mut total = Report::default();
@@ -52,6 +57,25 @@ fn main() {
         ("CT-SEQ", "ProtCC-CT", Pass::Ct, ContractKind::CtSeq),
         ("CT-SEQ", "ProtCC-UNR", Pass::Unr, ContractKind::CtSeq),
     ];
+
+    // One job per table cell (row × defense column); results land in
+    // cell order, so the printed table is independent of scheduling.
+    let cells: Vec<(usize, usize)> = (0..rows.len())
+        .flat_map(|r| (0..3).map(move |c| (r, c)))
+        .collect();
+    let reports = protean_jobs::map(&cells, |_, &(r, c)| {
+        let (_, _, pass, contract) = rows[r];
+        match c {
+            0 => campaign(pass, contract, programs, &|| Box::new(UnsafePolicy)),
+            1 => campaign(pass, contract, programs, &|| {
+                Box::new(ProtDelayPolicy::new())
+            }),
+            _ => campaign(pass, contract, programs, &|| {
+                Box::new(ProtTrackPolicy::new())
+            }),
+        }
+    });
+
     let t = TablePrinter::new(&[12, 14, 12, 12, 12]);
     println!("Table II: contract violations (true positives, false positives in parens)");
     println!("{programs} programs x 3 secret mutations x 2 adversary models per cell");
@@ -63,21 +87,14 @@ fn main() {
         "ProtTrack".into(),
     ]);
     t.sep();
-    for (contract_name, instr, pass, contract) in rows {
-        let unsafe_r = campaign(pass, contract, programs, &|| Box::new(UnsafePolicy));
-        let delay_r = campaign(pass, contract, programs, &|| {
-            Box::new(ProtDelayPolicy::new())
-        });
-        let track_r = campaign(pass, contract, programs, &|| {
-            Box::new(ProtTrackPolicy::new())
-        });
-        let cell = |r: &Report| format!("{} ({})", r.violations, r.false_positives);
+    let cell = |r: &Report| format!("{} ({})", r.violations, r.false_positives);
+    for (r, (contract_name, instr, _, _)) in rows.iter().enumerate() {
         t.row(&[
-            contract_name.into(),
-            instr.into(),
-            cell(&unsafe_r),
-            cell(&delay_r),
-            cell(&track_r),
+            (*contract_name).into(),
+            (*instr).into(),
+            cell(&reports[r * 3]),
+            cell(&reports[r * 3 + 1]),
+            cell(&reports[r * 3 + 2]),
         ]);
     }
     t.sep();

@@ -2,6 +2,11 @@
 //! eight Protean single-class configurations against their best secure
 //! baseline, on SPEC2017 (P-core and E-core) and PARSEC (multi-core).
 //!
+//! Simulations fan out on the `protean-jobs` pool — first the unsafe
+//! baselines (one job per workload), then one job per table cell ×
+//! workload — and rows are printed after ordered collection, so stdout
+//! is byte-identical at any `PROTEAN_JOBS` setting.
+//!
 //! ```text
 //! cargo run --release -p protean-bench --bin table_iv [--quick]
 //! ```
@@ -43,20 +48,36 @@ fn rows() -> Vec<ClassRow> {
 }
 
 fn platform(label: &str, core: &CoreConfig, workloads: &[Workload], t: &TablePrinter) {
-    // Unsafe baselines, once per workload.
-    let bases: Vec<f64> = workloads
-        .iter()
-        .map(|w| run_workload(w, core, Defense::Unsafe, Binary::Base).cycles as f64)
-        .collect();
-    for row in rows() {
+    // Unsafe baselines, once per workload (one job each).
+    let bases: Vec<f64> = protean_jobs::map(workloads, |_, w| {
+        run_workload(w, core, Defense::Unsafe, Binary::Base).cycles as f64
+    });
+    // One job per (class row × defense column × workload) simulation;
+    // results come back in job order, so the geomeans below accumulate
+    // in exactly the serial iteration order.
+    let rows = rows();
+    let mut cells: Vec<(Defense, Binary, usize)> = Vec::new();
+    for row in &rows {
+        let binary = Binary::SingleClass(row.pass);
+        for w in 0..workloads.len() {
+            cells.push((row.baseline, Binary::Base, w));
+            cells.push((Defense::ProtDelay, binary, w));
+            cells.push((Defense::ProtTrack, binary, w));
+        }
+    }
+    let norms = protean_jobs::map(&cells, |_, &(defense, binary, w)| {
+        run_workload(&workloads[w], core, defense, binary).cycles as f64 / bases[w]
+    });
+    let mut it = norms.chunks_exact(3);
+    for row in &rows {
         let mut bl = Vec::new();
         let mut delay = Vec::new();
         let mut track = Vec::new();
-        for (w, base) in workloads.iter().zip(&bases) {
-            let binary = Binary::SingleClass(row.pass);
-            bl.push(run_workload(w, core, row.baseline, Binary::Base).cycles as f64 / base);
-            delay.push(run_workload(w, core, Defense::ProtDelay, binary).cycles as f64 / base);
-            track.push(run_workload(w, core, Defense::ProtTrack, binary).cycles as f64 / base);
+        for _ in 0..workloads.len() {
+            let cell = it.next().expect("one chunk per workload");
+            bl.push(cell[0]);
+            delay.push(cell[1]);
+            track.push(cell[2]);
         }
         t.row(&[
             format!("{label} / {}", row.class),

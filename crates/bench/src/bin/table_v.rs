@@ -3,6 +3,11 @@
 //! UNR-Crypto vs SPT-SB) and the multi-class nginx web server vs SPT-SB,
 //! all on a P-core.
 //!
+//! One `protean-jobs` job per table row (each row's four simulations —
+//! unsafe base, baseline, ProtDelay, ProtTrack — stay serial inside the
+//! job); rows print after ordered collection, so stdout is
+//! byte-identical at any `PROTEAN_JOBS` setting.
+//!
 //! ```text
 //! cargo run --release -p protean-bench --bin table_v [--quick] [--scale N]
 //! ```
@@ -30,6 +35,36 @@ fn main() {
     }
 
     println!("Table V: normalized runtime on a P-core (baseline | Protean-Delay | Protean-Track)");
+
+    // One job per workload row: the row's four runs stay serial inside
+    // the job, rows fan out across workers.
+    let row_jobs: Vec<(&Workload, Defense)> = suites
+        .iter()
+        .flat_map(|(_, baseline, ws)| ws.iter().map(move |w| (w, *baseline)))
+        .collect();
+    let row_norms = protean_jobs::map(&row_jobs, |_, &(w, baseline)| {
+        let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
+        let b = run_workload(w, &core, baseline, Binary::Base).cycles as f64 / base;
+        let d = run_workload(
+            w,
+            &core,
+            Defense::ProtDelay,
+            binary_for(Defense::ProtDelay, w.class),
+        )
+        .cycles as f64
+            / base;
+        let k = run_workload(
+            w,
+            &core,
+            Defense::ProtTrack,
+            binary_for(Defense::ProtTrack, w.class),
+        )
+        .cycles as f64
+            / base;
+        (b, d, k)
+    });
+
+    let mut next_row = row_norms.into_iter();
     for (suite, baseline, workloads) in &suites {
         t.sep();
         t.row(&[
@@ -41,24 +76,7 @@ fn main() {
         t.sep();
         let mut cols: [Vec<f64>; 3] = [vec![], vec![], vec![]];
         for w in workloads {
-            let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
-            let b = run_workload(w, &core, *baseline, Binary::Base).cycles as f64 / base;
-            let d = run_workload(
-                w,
-                &core,
-                Defense::ProtDelay,
-                binary_for(Defense::ProtDelay, w.class),
-            )
-            .cycles as f64
-                / base;
-            let k = run_workload(
-                w,
-                &core,
-                Defense::ProtTrack,
-                binary_for(Defense::ProtTrack, w.class),
-            )
-            .cycles as f64
-                / base;
+            let (b, d, k) = next_row.next().expect("one result per row");
             cols[0].push(b);
             cols[1].push(d);
             cols[2].push(k);
@@ -72,7 +90,8 @@ fn main() {
         ]);
     }
 
-    // Multi-class nginx vs SPT-SB.
+    // Multi-class nginx vs SPT-SB: one job per (cores × requests) grid
+    // point, each building its own workload.
     t.sep();
     t.row(&[
         "Multi-Class".into(),
@@ -86,19 +105,22 @@ fn main() {
     } else {
         &[(1, 1), (2, 2), (1, 4), (4, 1), (4, 4)]
     };
-    let mut cols: [Vec<f64>; 3] = [vec![], vec![], vec![]];
-    for (c, r) in grid {
-        let w = nginx(*c, *r, scale);
+    let grid_rows = protean_jobs::map(grid, |_, &(c, r)| {
+        let w = nginx(c, r, scale);
         let base = run_workload(&w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
         let b = run_workload(&w, &core, Defense::SptSb, Binary::Base).cycles as f64 / base;
         let d =
             run_workload(&w, &core, Defense::ProtDelay, Binary::MultiClass).cycles as f64 / base;
         let k =
             run_workload(&w, &core, Defense::ProtTrack, Binary::MultiClass).cycles as f64 / base;
+        (w.name.clone(), b, d, k)
+    });
+    let mut cols: [Vec<f64>; 3] = [vec![], vec![], vec![]];
+    for (name, b, d, k) in grid_rows {
         cols[0].push(b);
         cols[1].push(d);
         cols[2].push(k);
-        t.row(&[w.name.clone(), fmt_norm(b), fmt_norm(d), fmt_norm(k)]);
+        t.row(&[name, fmt_norm(b), fmt_norm(d), fmt_norm(k)]);
     }
     t.row(&[
         "geomean".into(),

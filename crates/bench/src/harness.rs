@@ -10,6 +10,13 @@
 //! Sample counts can be overridden without editing code via
 //! `PROTEAN_BENCH_SAMPLES` and `PROTEAN_BENCH_WARMUP`.
 //!
+//! [`Bench::run_parallel`] fans a group's cases out on the
+//! `protean-jobs` pool — cases run in parallel, the samples *within* a
+//! case stay serial, and report lines print in case order once every
+//! case has finished. Parallel cases contend for cores, so absolute
+//! medians shift; set `PROTEAN_JOBS=1` when an uncontended wall-clock
+//! number matters more than total sweep time.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -21,6 +28,10 @@
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// A named benchmark case for [`Bench::run_parallel`]: a label plus the
+/// closure to time.
+pub type Case<'a, T> = (&'a str, Box<dyn Fn() -> T + Send + Sync + 'a>);
 
 /// Default number of timed samples per case.
 pub const DEFAULT_SAMPLES: u32 = 10;
@@ -74,6 +85,30 @@ impl Bench {
     /// closure's result is passed through [`black_box`] so the work is
     /// not optimized away.
     pub fn run<T>(&self, case: &str, mut f: impl FnMut() -> T) -> Stats {
+        let stats = self.measure(&mut f);
+        self.report(case, &stats);
+        stats
+    }
+
+    /// Times a group of cases **in parallel** (one `protean-jobs` job
+    /// per case; `PROTEAN_JOBS` caps the workers). The warmup and timed
+    /// samples of each case stay serial inside its job. Report lines
+    /// print in case order after every case has finished — never
+    /// interleaved — so the report layout is byte-identical at any
+    /// worker count, though the measured durations themselves reflect
+    /// whatever core contention the parallel cases created.
+    pub fn run_parallel<T: Send>(&self, cases: Vec<Case<'_, T>>) -> Vec<Stats> {
+        let all = protean_jobs::map(&cases, |_, (_, f)| {
+            let mut f = || f();
+            self.measure(&mut f)
+        });
+        for ((case, _), stats) in cases.iter().zip(&all) {
+            self.report(case, stats);
+        }
+        all
+    }
+
+    fn measure<T>(&self, f: &mut impl FnMut() -> T) -> Stats {
         for _ in 0..self.warmup {
             black_box(f());
         }
@@ -84,12 +119,15 @@ impl Bench {
             times.push(start.elapsed());
         }
         times.sort_unstable();
-        let stats = Stats {
+        Stats {
             median: times[times.len() / 2],
             min: times[0],
             max: times[times.len() - 1],
             samples: self.samples,
-        };
+        }
+    }
+
+    fn report(&self, case: &str, stats: &Stats) {
         println!(
             "{:<44} median {:>9}  min {:>9}  max {:>9}  ({} samples)",
             format!("{}/{}", self.group, case),
@@ -98,7 +136,6 @@ impl Bench {
             fmt_duration(stats.max),
             stats.samples,
         );
-        stats
     }
 }
 
@@ -147,6 +184,22 @@ mod tests {
             .run("spin", || std::hint::black_box((0..1000u64).sum::<u64>()));
         assert_eq!(stats.samples, 5);
         assert!(stats.min <= stats.median && stats.median <= stats.max);
+    }
+
+    #[test]
+    fn run_parallel_returns_stats_in_case_order() {
+        let bench = Bench::new("par").samples(3).warmup(0);
+        let cases: Vec<Case<'_, u64>> = vec![
+            ("a", Box::new(|| black_box((0..100u64).sum::<u64>()))),
+            ("b", Box::new(|| black_box((0..200u64).sum::<u64>()))),
+            ("c", Box::new(|| black_box((0..300u64).sum::<u64>()))),
+        ];
+        let all = bench.run_parallel(cases);
+        assert_eq!(all.len(), 3);
+        for stats in all {
+            assert_eq!(stats.samples, 3);
+            assert!(stats.min <= stats.median && stats.median <= stats.max);
+        }
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! # protean-jobs
+//!
+//! A deterministic, zero-dependency parallel job runner for the
+//! embarrassingly parallel fan-out sites in this workspace: AMuLeT\*
+//! fuzzing campaigns (one job per generated program), bench table /
+//! figure / ablation cells (one job per simulated run), and wall-clock
+//! bench cases.
+//!
+//! ## The determinism contract
+//!
+//! Results are collected **in job order**, regardless of which worker
+//! ran which job or in what order jobs finished. A caller that derives
+//! every job's inputs up front (per-job seeds, never a shared RNG) and
+//! merges results in job index order therefore produces *byte-identical*
+//! output at any worker count — `PROTEAN_JOBS=1` and `PROTEAN_JOBS=32`
+//! must be indistinguishable from the output alone. The campaign and
+//! bench drivers enforce this with same-seed 1-vs-N tests.
+//!
+//! ## Worker-count resolution
+//!
+//! An explicit count passed to [`map_indexed_with`] wins; otherwise the
+//! `PROTEAN_JOBS` environment variable; otherwise
+//! [`std::thread::available_parallelism`]. `PROTEAN_JOBS=1` forces
+//! serial in-thread execution (no worker threads are spawned).
+//!
+//! ## Panics
+//!
+//! A panicking job does not poison its siblings: remaining jobs keep
+//! running, then the pool re-panics on the *lowest* failed job index
+//! with the job's context attached (`job 7 of 30 panicked: ...`), so a
+//! failure inside a parallel campaign is attributable to one job — and,
+//! through the caller's seed-splitting discipline, to one seed — no
+//! matter how many workers raced past it.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = protean_jobs::map_indexed(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//!
+//! let lens = protean_jobs::map(&["a", "bcd"], |_, s| s.len());
+//! assert_eq!(lens, vec![1, 3]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The resolved default worker count: `PROTEAN_JOBS` if set (must be a
+/// positive integer), else the machine's available parallelism.
+///
+/// # Panics
+///
+/// Panics if `PROTEAN_JOBS` is set but not a positive integer — a
+/// misspelled override silently running serial (or all-cores) would be
+/// much harder to notice than a crash.
+pub fn worker_count() -> usize {
+    match std::env::var("PROTEAN_JOBS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("PROTEAN_JOBS={raw} is not a positive integer"),
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Runs jobs `0..n` on the default worker count (see [`worker_count`])
+/// and returns their results in job order.
+pub fn map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    map_indexed_with(worker_count(), n, f)
+}
+
+/// Runs `f(i, &items[i])` for every item and returns the results in
+/// item order, on the default worker count.
+pub fn map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    map_indexed(items.len(), |i| f(i, &items[i]))
+}
+
+/// Runs jobs `0..n` on exactly `workers` threads (clamped to `[1, n]`)
+/// and returns their results in job order.
+///
+/// `workers == 1` runs every job serially on the calling thread; no
+/// threads are spawned. Panic reporting is identical on both paths.
+pub fn map_indexed_with<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(n);
+    if workers == 1 {
+        return (0..n)
+            .map(|i| match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(v) => v,
+                Err(payload) => repanic(i, n, payload),
+            })
+            .collect();
+    }
+
+    // Chunked dynamic scheduling: workers grab contiguous index ranges
+    // from a shared cursor. Chunks keep cursor contention negligible
+    // while staying small enough that heterogeneous jobs (e.g. the
+    // unsafe-baseline campaign cell next to a cheap Protean cell) still
+    // balance.
+    let chunk = (n / (workers * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let per_worker: Vec<Vec<(usize, std::thread::Result<T>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    'grab: loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(n) {
+                            let r = catch_unwind(AssertUnwindSafe(|| f(i)));
+                            let failed = r.is_err();
+                            out.push((i, r));
+                            if failed {
+                                // Leave remaining work to the other
+                                // workers; the pool re-panics after the
+                                // scope joins.
+                                break 'grab;
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker closures never panic"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+    for (i, r) in per_worker.into_iter().flatten() {
+        match r {
+            Ok(v) => slots[i] = Some(v),
+            Err(payload) => {
+                if first_panic.as_ref().is_none_or(|(j, _)| i < *j) {
+                    first_panic = Some((i, payload));
+                }
+            }
+        }
+    }
+    if let Some((i, payload)) = first_panic {
+        repanic(i, n, payload);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job ran exactly once"))
+        .collect()
+}
+
+/// Re-raises a caught job panic with the job index attached.
+fn repanic(job: usize, n: usize, payload: Box<dyn std::any::Any + Send>) -> ! {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    panic!("job {job} of {n} panicked: {msg}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order_at_any_worker_count() {
+        for workers in [1, 2, 3, 7, 64] {
+            let got = map_indexed_with(workers, 100, |i| i * 3);
+            assert_eq!(got, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_on_heavier_jobs() {
+        let work = |i: usize| {
+            let mut acc = i as u64;
+            for k in 0..5_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            acc
+        };
+        assert_eq!(map_indexed_with(1, 33, work), map_indexed_with(4, 33, work));
+    }
+
+    #[test]
+    fn empty_and_single_job_edge_cases() {
+        assert_eq!(map_indexed_with(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed_with(8, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn map_passes_item_and_index() {
+        let items = ["x", "yy", "zzz"];
+        let got = map(&items, |i, s| (i, s.len()));
+        assert_eq!(got, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn panicking_job_surfaces_its_job_index() {
+        for workers in [1, 4] {
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                map_indexed_with(workers, 10, |i| {
+                    if i == 6 {
+                        panic!("boom at six");
+                    }
+                    i
+                })
+            }))
+            .expect_err("job 6 must propagate");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("formatted panic message");
+            assert!(
+                msg.contains("job 6 of 10") && msg.contains("boom at six"),
+                "missing job context: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn lowest_failed_index_wins_when_several_jobs_panic() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            map_indexed_with(4, 12, |i| {
+                if i % 3 == 2 {
+                    panic!("bad {i}");
+                }
+                i
+            })
+        }))
+        .expect_err("must propagate");
+        let msg = err.downcast_ref::<String>().cloned().unwrap();
+        assert!(msg.contains("job 2 of 12"), "not the lowest index: {msg}");
+    }
+}

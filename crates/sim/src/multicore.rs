@@ -34,11 +34,19 @@ pub struct Thread<'a> {
 /// Result of a multi-core run.
 #[derive(Clone, Debug)]
 pub struct MulticoreResult {
-    /// Per-thread results, in thread order.
+    /// Per-thread results, in thread order. Each thread's `l3_hits` /
+    /// `l3_misses` are the **deltas** of the shared L3's counters over
+    /// that thread's run — its own traffic, not the cumulative totals
+    /// of every thread that ran before it.
     pub threads: Vec<SimResult>,
     /// Makespan: the slowest thread's cycle count (the workload's
     /// execution time on the parallel machine).
     pub makespan: u64,
+    /// Shared-L3 hits over the whole run (equals the sum of the
+    /// per-thread deltas).
+    pub l3_hits: u64,
+    /// Shared-L3 misses over the whole run.
+    pub l3_misses: u64,
 }
 
 impl MulticoreResult {
@@ -88,9 +96,15 @@ impl Multicore {
         let mut shared_l3 = Cache::new(self.cfg.l3, true);
         let mut results = Vec::with_capacity(threads.len());
         for t in threads {
+            // The shared L3's counters are cumulative across cores:
+            // snapshot them so this thread is attributed only its own
+            // delta, not the traffic of every thread that ran before it.
+            let (hits_before, misses_before) = (shared_l3.hits, shared_l3.misses);
             let mut core = Core::new(t.program, self.cfg.clone(), t.policy, &t.initial);
             core.install_l3(shared_l3);
-            let (result, l3) = core.run_returning_l3(max_insts, max_cycles);
+            let (mut result, l3) = core.run_returning_l3(max_insts, max_cycles);
+            result.stats.l3_hits = l3.hits - hits_before;
+            result.stats.l3_misses = l3.misses - misses_before;
             shared_l3 = l3;
             results.push(result);
         }
@@ -98,6 +112,8 @@ impl Multicore {
         MulticoreResult {
             threads: results,
             makespan,
+            l3_hits: shared_l3.hits,
+            l3_misses: shared_l3.misses,
         }
     }
 }
@@ -132,11 +148,33 @@ mod tests {
         let r = Multicore::new(CoreConfig::test_tiny()).run(vec![mk(), mk()], 100_000, 1_000_000);
         let t1 = &r.threads[0].stats;
         let t2 = &r.threads[1].stats;
+        // Delta attribution: per-thread counters must partition the
+        // shared cache's totals (no thread is charged another's traffic).
+        assert_eq!(
+            t1.l3_hits + t2.l3_hits,
+            r.l3_hits,
+            "per-thread hit deltas must sum to the shared L3's hits"
+        );
+        assert_eq!(
+            t1.l3_misses + t2.l3_misses,
+            r.l3_misses,
+            "per-thread miss deltas must sum to the shared L3's misses"
+        );
+        // The warmth claim, on deltas: thread 1 fills the L3 (mostly
+        // misses), thread 2 reuses it, so thread 2's *own* hit rate must
+        // beat thread 1's.
+        let rate = |hits: u64, misses: u64| hits as f64 / (hits + misses).max(1) as f64;
+        let r1 = rate(t1.l3_hits, t1.l3_misses);
+        let r2 = rate(t2.l3_hits, t2.l3_misses);
         assert!(
-            t2.l3_hits > t1.l3_hits,
-            "second thread should hit the shared L3 ({} vs {})",
-            t2.l3_hits,
-            t1.l3_hits
+            r2 > r1,
+            "second thread's delta hit rate should beat the first's ({r2:.3} vs {r1:.3})"
+        );
+        assert!(
+            t2.l3_misses < t1.l3_misses,
+            "warm L3 should spare thread 2 most misses ({} vs {})",
+            t2.l3_misses,
+            t1.l3_misses
         );
         assert!(t2.cycles < t1.cycles, "warm L3 should make thread 2 faster");
         assert_eq!(r.makespan, t1.cycles.max(t2.cycles));

@@ -157,13 +157,21 @@ impl DynInst {
     ///
     /// # Panics
     ///
-    /// Panics if `reg` is not a source of this µop.
+    /// Panics if `reg` is not a source of this µop. The message carries
+    /// the µop's program index and fetch cycle so a failure inside a
+    /// parallel campaign is attributable to one generated program (and
+    /// through the campaign's seed splitting, to one generator seed).
     pub fn src_phys(&self, reg: Reg) -> usize {
         self.srcs
             .iter()
             .find(|(r, _)| *r == reg)
             .map(|(_, p)| *p)
-            .unwrap_or_else(|| panic!("{reg} is not a source of {}", self.inst))
+            .unwrap_or_else(|| {
+                panic!(
+                    "{reg} is not a source of {} (µop idx={} pc={:#x} seq={} fetched @cycle {})",
+                    self.inst, self.idx, self.pc, self.seq, self.fetch_cycle
+                )
+            })
     }
 
     /// Whether the µop is a load (including `ret`).
@@ -222,6 +230,12 @@ pub struct SimResult {
     /// Final rename-map protection bits (ProtISA's architectural
     /// register ProtSet as tracked by hardware, §IV-C1).
     pub final_reg_prot: [bool; Reg::COUNT],
+    /// Backend-state dump captured when the watchdog fired
+    /// ([`SimExit::Deadlock`] only). Rendered to a string so a parallel
+    /// campaign runner can report it atomically instead of letting
+    /// worker dumps interleave on stderr; it is also printed to stderr
+    /// directly when `PROTEAN_SIM_DEBUG=1`.
+    pub deadlock_dump: Option<String>,
 }
 
 /// One simulated out-of-order core.
@@ -371,6 +385,7 @@ impl<'a> Core<'a> {
     }
 
     fn run_inner(&mut self, max_insts: u64, max_cycles: u64) -> SimResult {
+        let mut deadlock_dump = None;
         while self.halted.is_none() {
             if self.stats.committed >= max_insts {
                 self.halted = Some(SimExit::MaxInsts);
@@ -381,7 +396,11 @@ impl<'a> Core<'a> {
                 break;
             }
             if self.no_commit_cycles > WATCHDOG_CYCLES {
-                self.debug_dump();
+                let dump = self.debug_dump();
+                if std::env::var_os("PROTEAN_SIM_DEBUG").is_some_and(|v| v == "1") {
+                    eprint!("{dump}");
+                }
+                deadlock_dump = Some(dump);
                 self.halted = Some(SimExit::Deadlock);
                 break;
             }
@@ -407,13 +426,21 @@ impl<'a> Core<'a> {
             committed_idxs: std::mem::take(&mut self.committed_idxs),
             final_regs: self.committed_regs,
             final_reg_prot: self.prot_map,
+            deadlock_dump,
         }
     }
 
-    /// Dumps backend state (watchdog diagnostics).
-    fn debug_dump(&self) {
-        eprintln!("--- deadlock dump @cycle {} ---", self.cycle);
-        eprintln!(
+    /// Renders backend state (watchdog diagnostics) to a string. Never
+    /// printed unconditionally: under a parallel campaign, per-worker
+    /// stderr writes would interleave into garbage, so the dump travels
+    /// in [`SimResult::deadlock_dump`] and only reaches stderr when
+    /// `PROTEAN_SIM_DEBUG=1`.
+    fn debug_dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "--- deadlock dump @cycle {} ---", self.cycle);
+        let _ = writeln!(
+            out,
             "fetch_idx={:?} fq={} free={} lq={} sq={}",
             self.fetch_idx,
             self.fetch_queue.len(),
@@ -427,7 +454,8 @@ impl<'a> Core<'a> {
                 .iter()
                 .map(|(r, p)| format!("{r}=p{p}{}", if self.prf_ready[*p] { "+" } else { "-" }))
                 .collect();
-            eprintln!(
+            let _ = writeln!(
+                out,
                 "  seq={} idx={} {:?} {} srcs={:?} mem={:?}",
                 u.seq,
                 u.idx,
@@ -437,6 +465,7 @@ impl<'a> Core<'a> {
                 u.mem.as_ref().map(|m| (m.addr, m.data_ready))
             );
         }
+        out
     }
 
     fn frontier(&self) -> SpecFrontier {

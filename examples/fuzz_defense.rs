@@ -12,7 +12,7 @@ use protean::sim::{DefensePolicy, UnsafePolicy};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "unsafe".into());
-    let factory: Box<dyn Fn() -> Box<dyn DefensePolicy>> = match which.as_str() {
+    let factory: Box<dyn Fn() -> Box<dyn DefensePolicy> + Sync> = match which.as_str() {
         "unsafe" => Box::new(|| Box::new(UnsafePolicy)),
         "stt" => Box::new(|| Box::new(SttPolicy::fixed())),
         "stt-original" => Box::new(|| Box::new(SttPolicy::original())),
