@@ -15,14 +15,30 @@ cargo fmt --check
 echo "== cargo build --release --offline --workspace --all-targets"
 cargo build --release --offline --workspace --all-targets
 
-echo "== cargo test -q --offline --workspace (PROTEAN_JOBS=1, serial job pool)"
-PROTEAN_JOBS=1 cargo test -q --offline --workspace
+echo "== cargo test -q --release --offline --workspace (PROTEAN_JOBS=1, serial job pool)"
+PROTEAN_JOBS=1 cargo test -q --release --offline --workspace
 
-echo "== cargo test -q --offline --workspace (PROTEAN_JOBS unset, all cores)"
+echo "== cargo test -q --release --offline --workspace (PROTEAN_JOBS unset, all cores)"
 # Second pass with the job pool at its default width: campaign/bench
 # fan-out must be byte-identical to the serial pass (the protean-jobs
 # determinism contract), and the pool's panic propagation and ordered
 # collection get exercised under real parallelism.
-env -u PROTEAN_JOBS cargo test -q --offline --workspace
+env -u PROTEAN_JOBS cargo test -q --release --offline --workspace
+
+echo "== cargo test -q --offline --workspace (debug profile)"
+# Debug-profile pass: overflow checks and debug assertions are on here
+# and off in release, so arithmetic-edge bugs (e.g. u64 wrap in the
+# cache metadata folds) only surface in this configuration.
+cargo test -q --offline --workspace
+
+echo "== bench JSON smoke (ablation_fixes --quick + validate_json)"
+# One bench binary end to end: write its JSON report to a scratch dir,
+# then check it against the schema shared by all table/figure reports.
+BENCH_SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$BENCH_SMOKE_DIR"' EXIT
+PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" \
+    cargo run -q --release --offline -p protean-bench --bin ablation_fixes -- --quick >/dev/null
+PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" \
+    cargo run -q --release --offline -p protean-bench --bin validate_json
 
 echo "CI OK"

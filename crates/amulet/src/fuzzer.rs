@@ -140,6 +140,10 @@ pub struct Violation {
     /// Whether the post-processing filter classified it as a false
     /// positive (committed fingerprints differ — sequential leakage).
     pub false_positive: bool,
+    /// Rendered pipeline trace of the leaking run (text diagram plus the
+    /// defense-decision audit log), captured by a deterministic traced
+    /// re-run of the mutant input when the example is recorded.
+    pub trace: Option<String>,
 }
 
 /// Campaign results (one row of the paper's Tab. II).
@@ -277,6 +281,7 @@ fn fuzz_one_program(
                     program_seed: seed,
                     input_index: i,
                     false_positive: fp,
+                    trace: traced_rerun(&program, &mutant, cfg, policy_factory()),
                 });
             }
             if !fp && cfg.stop_at_first {
@@ -332,4 +337,27 @@ fn run_hw(
     let mut core = Core::new(program, cfg.core.clone(), policy, input);
     core.record_traces(true);
     core.run(cfg.max_steps, cfg.max_steps * 60)
+}
+
+/// Re-runs the leaking input with pipeline tracing enabled and renders
+/// the counterexample trace. The simulator is deterministic, so the
+/// traced run replays the violating execution exactly; tracing is kept
+/// out of `run_hw` itself so the millions of non-violating runs pay
+/// nothing for it.
+fn traced_rerun(
+    program: &Program,
+    input: &ArchState,
+    cfg: &FuzzConfig,
+    policy: Box<dyn DefensePolicy>,
+) -> Option<String> {
+    let mut core_cfg = cfg.core.clone();
+    core_cfg.trace = true;
+    let core = Core::new(program, core_cfg, policy, input);
+    let result = core.run(cfg.max_steps, cfg.max_steps * 60);
+    let trace = result.trace?;
+    Some(format!(
+        "{}\n{}",
+        trace.render_pipeline(48, 120),
+        trace.render_audit(16)
+    ))
 }

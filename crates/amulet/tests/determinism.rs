@@ -46,6 +46,13 @@ fn worker_count_does_not_change_the_report() {
     let serial = campaign_with(0x0dd5_eed5, 1);
     let parallel = campaign_with(0x0dd5_eed5, 4);
     assert!(serial.violations > 0, "campaign found nothing: {serial:?}");
+    // Violation examples embed the leaking run's pipeline trace, so the
+    // Debug comparison below also proves the traces are byte-identical
+    // across worker counts — make sure that coverage isn't vacuous.
+    assert!(
+        serial.examples.iter().any(|v| v.trace.is_some()),
+        "violation examples must embed pipeline traces"
+    );
     assert_eq!(
         format!("{serial:?}"),
         format!("{parallel:?}"),

@@ -8,7 +8,7 @@
 //! NDA/SpecShield's target.
 
 use protean_isa::TransmitterSet;
-use protean_sim::{DefensePolicy, DynInst, RegTags, SpecFrontier};
+use protean_sim::{BlockPoint, DefensePolicy, DynInst, RegTags, SpecFrontier};
 
 /// The AccessDelay policy (NDA \[138\] / SpecShield \[13\]).
 ///
@@ -71,5 +71,19 @@ impl DefensePolicy for AccessDelayPolicy {
         // A `ret`'s squash decision transmits its (speculatively loaded)
         // target: the load may not "wake" the squash logic either.
         !(u.is_load() && u.delay_wakeup_nonspec) || fr.is_non_speculative(u.seq)
+    }
+
+    fn block_rule(
+        &self,
+        _u: &DynInst,
+        point: BlockPoint,
+        _tags: &RegTags,
+        _fr: &SpecFrontier,
+    ) -> &'static str {
+        match point {
+            BlockPoint::Execute => "blocked",
+            BlockPoint::Wakeup => "spec-load-wakeup",
+            BlockPoint::Resolve => "spec-ret-target-resolve",
+        }
     }
 }

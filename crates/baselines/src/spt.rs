@@ -24,7 +24,8 @@
 
 use protean_isa::{Op, TransmitterSet, Width};
 use protean_sim::{
-    sensitive_phys, sensitive_value_tainted, Cache, DefensePolicy, DynInst, RegTags, SpecFrontier,
+    sensitive_phys, sensitive_value_tainted, BlockPoint, Cache, DefensePolicy, DynInst, RegTags,
+    SpecFrontier,
 };
 
 /// The SPT policy. See the module docs for the modelled semantics.
@@ -160,6 +161,26 @@ impl DefensePolicy for SptPolicy {
         }
         // `ret`: the loaded target itself must be public.
         u.mem_prot != Some(true)
+    }
+
+    fn block_rule(
+        &self,
+        u: &DynInst,
+        point: BlockPoint,
+        tags: &RegTags,
+        _fr: &SpecFrontier,
+    ) -> &'static str {
+        match point {
+            BlockPoint::Execute => "private-transmitter-delay",
+            BlockPoint::Wakeup => "blocked",
+            BlockPoint::Resolve => {
+                if sensitive_value_tainted(u, &self.xmit, tags) {
+                    "private-branch-resolve"
+                } else {
+                    "private-ret-target-resolve"
+                }
+            }
+        }
     }
 
     fn on_commit(&mut self, u: &DynInst, tags: &mut RegTags, l1d: &mut Cache) {

@@ -9,7 +9,7 @@
 //! in the paper's evaluation (≈2.9× on SPEC, Tab. IV).
 
 use protean_isa::TransmitterSet;
-use protean_sim::{DefensePolicy, DynInst, RegTags, SpecFrontier};
+use protean_sim::{BlockPoint, DefensePolicy, DynInst, RegTags, SpecFrontier};
 
 /// The SPT-SB policy.
 ///
@@ -73,5 +73,19 @@ impl DefensePolicy for SptSbPolicy {
     fn may_resolve(&self, u: &DynInst, _tags: &RegTags, fr: &SpecFrontier) -> bool {
         // Every squash signal transmits protected state.
         !self.xmit.branches || fr.is_non_speculative(u.seq)
+    }
+
+    fn block_rule(
+        &self,
+        _u: &DynInst,
+        point: BlockPoint,
+        _tags: &RegTags,
+        _fr: &SpecFrontier,
+    ) -> &'static str {
+        match point {
+            BlockPoint::Execute => "spec-transmitter-delay",
+            BlockPoint::Wakeup => "blocked",
+            BlockPoint::Resolve => "spec-squash-delay",
+        }
     }
 }

@@ -9,7 +9,9 @@
 //! and — under STT's ARCH-SEQ contract — fair game.
 
 use protean_isa::TransmitterSet;
-use protean_sim::{sensitive_root_tainted, DefensePolicy, DynInst, RegTags, SpecFrontier};
+use protean_sim::{
+    sensitive_root_tainted, BlockPoint, DefensePolicy, DynInst, RegTags, SpecFrontier,
+};
 
 /// The STT policy.
 ///
@@ -116,5 +118,25 @@ impl DefensePolicy for SttPolicy {
         // `ret` transmits its speculatively *loaded* target, which is
         // tainted by the ret's own load (rooted at itself).
         !u.is_load()
+    }
+
+    fn block_rule(
+        &self,
+        u: &DynInst,
+        point: BlockPoint,
+        tags: &RegTags,
+        fr: &SpecFrontier,
+    ) -> &'static str {
+        match point {
+            BlockPoint::Execute => "tainted-transmitter-delay",
+            BlockPoint::Wakeup => "blocked",
+            BlockPoint::Resolve => {
+                if sensitive_root_tainted(u, &self.xmit, tags, fr) {
+                    "tainted-branch-resolve"
+                } else {
+                    "tainted-ret-target-resolve"
+                }
+            }
+        }
     }
 }

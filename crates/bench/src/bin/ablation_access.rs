@@ -3,8 +3,10 @@
 //! disabled) versus the full mechanisms, on SPEC2017int (P-core),
 //! averaged across ProtCC-ARCH and ProtCC-CT binaries.
 
-use protean_bench::{geomean, run_workload, Binary, Defense, TablePrinter};
+use protean_bench::report::{measure_fields, BenchReport};
+use protean_bench::{geomean, measure, Binary, Defense, TablePrinter};
 use protean_cc::Pass;
+use protean_sim::json::Json;
 use protean_sim::CoreConfig;
 use protean_workloads::{spec2017_int, Scale};
 
@@ -32,18 +34,28 @@ fn main() {
     // One job per (mechanism × pass × workload) cell; aggregation below
     // consumes cells in serial iteration order (byte-identical stdout at
     // any PROTEAN_JOBS setting).
-    let mut cells: Vec<(Defense, Pass, usize)> = Vec::new();
-    for (_, d) in &rows {
+    let mut cells: Vec<(&'static str, Defense, Pass, usize)> = Vec::new();
+    for (label, d) in &rows {
         for pass in [Pass::Arch, Pass::Ct] {
             for w in 0..ws.len() {
-                cells.push((*d, pass, w));
+                cells.push((label, *d, pass, w));
             }
         }
     }
-    let norms = protean_jobs::map(&cells, |_, &(d, pass, w)| {
-        let base = run_workload(&ws[w], &core, Defense::Unsafe, Binary::Base).cycles as f64;
-        run_workload(&ws[w], &core, d, Binary::SingleClass(pass)).cycles as f64 / base
+    let measured = protean_jobs::map(&cells, |_, &(_, d, pass, w)| {
+        measure(&ws[w], &core, d, Binary::SingleClass(pass))
     });
+    let mut rep = BenchReport::new("ablation_access");
+    for (&(label, _, pass, w), m) in cells.iter().zip(&measured) {
+        let mut fields = vec![
+            ("mechanism", Json::str(label)),
+            ("pass", Json::str(pass.name())),
+            ("workload", Json::str(ws[w].name.clone())),
+        ];
+        fields.extend(measure_fields(&m.run, m.norm));
+        rep.row(fields);
+    }
+    let norms: Vec<f64> = measured.iter().map(|m| m.norm).collect();
     let mut chunks = norms.chunks_exact(ws.len());
     for (label, _) in rows {
         let mut cols = Vec::new();
@@ -53,4 +65,5 @@ fn main() {
         }
         t.row(&[label.into(), cols[0].clone(), cols[1].clone()]);
     }
+    rep.write_and_announce();
 }

@@ -2,8 +2,10 @@
 //! PROTEAN-Track-ARCH/-CT versus STT/SPT on SPEC2017int (P-core) with
 //! instructions considered speculative only until prior branches resolve.
 
-use protean_bench::{geomean, run_workload, Binary, Defense, TablePrinter};
+use protean_bench::report::{measure_fields, BenchReport};
+use protean_bench::{geomean, measure, Binary, Defense, TablePrinter};
 use protean_cc::Pass;
+use protean_sim::json::Json;
 use protean_sim::{CoreConfig, SpeculationModel};
 use protean_workloads::{spec2017_int, Scale};
 
@@ -38,15 +40,25 @@ fn main() {
     let cells: Vec<(usize, usize)> = (0..configs.len())
         .flat_map(|c| (0..ws.len()).map(move |w| (c, w)))
         .collect();
-    let norms = protean_jobs::map(&cells, |_, &(c, w)| {
+    let measured = protean_jobs::map(&cells, |_, &(c, w)| {
         let (_, d, binary) = configs[c];
-        let base = run_workload(&ws[w], &core, Defense::Unsafe, Binary::Base).cycles as f64;
-        run_workload(&ws[w], &core, d, binary).cycles as f64 / base
+        measure(&ws[w], &core, d, binary)
     });
+    let mut rep = BenchReport::new("ablation_control");
+    for (&(c, w), m) in cells.iter().zip(&measured) {
+        let mut fields = vec![
+            ("config", Json::str(configs[c].0)),
+            ("workload", Json::str(ws[w].name.clone())),
+        ];
+        fields.extend(measure_fields(&m.run, m.norm));
+        rep.row(fields);
+    }
+    let norms: Vec<f64> = measured.iter().map(|m| m.norm).collect();
     for ((label, _, _), chunk) in configs.iter().zip(norms.chunks_exact(ws.len())) {
         t.row(&[
             (*label).into(),
             format!("{:+.1}%", (geomean(chunk) - 1.0) * 100.0),
         ]);
     }
+    rep.write_and_announce();
 }

@@ -2,8 +2,10 @@
 //! memory protected) vs the paper's tagged L1D vs an idealized perfect
 //! shadow memory, for PROTEAN-Track-ARCH/-CT on SPEC2017int (P-core).
 
-use protean_bench::{geomean, run_workload, Binary, Defense, TablePrinter};
+use protean_bench::report::{measure_fields, BenchReport};
+use protean_bench::{geomean, measure, Binary, Defense, TablePrinter};
 use protean_cc::Pass;
+use protean_sim::json::Json;
 use protean_sim::{CoreConfig, MemProtTracking};
 use protean_workloads::{spec2017_int, Scale};
 
@@ -28,21 +30,30 @@ fn main() {
     ];
     // One job per (variant × pass × workload) cell; each cell runs its
     // own base because the tracking mode is a *core* parameter.
-    let mut cells: Vec<(MemProtTracking, Pass, usize)> = Vec::new();
-    for (_, mode) in &variants {
+    let mut cells: Vec<(&'static str, MemProtTracking, Pass, usize)> = Vec::new();
+    for (label, mode) in &variants {
         for pass in [Pass::Arch, Pass::Ct] {
             for w in 0..ws.len() {
-                cells.push((*mode, pass, w));
+                cells.push((label, *mode, pass, w));
             }
         }
     }
-    let norms = protean_jobs::map(&cells, |_, &(mode, pass, w)| {
+    let measured = protean_jobs::map(&cells, |_, &(_, mode, pass, w)| {
         let mut core = CoreConfig::p_core();
         core.mem_prot = mode;
-        let base = run_workload(&ws[w], &core, Defense::Unsafe, Binary::Base).cycles as f64;
-        run_workload(&ws[w], &core, Defense::ProtTrack, Binary::SingleClass(pass)).cycles as f64
-            / base
+        measure(&ws[w], &core, Defense::ProtTrack, Binary::SingleClass(pass))
     });
+    let mut rep = BenchReport::new("ablation_l1d");
+    for (&(label, _, pass, w), m) in cells.iter().zip(&measured) {
+        let mut fields = vec![
+            ("variant", Json::str(label)),
+            ("pass", Json::str(pass.name())),
+            ("workload", Json::str(ws[w].name.clone())),
+        ];
+        fields.extend(measure_fields(&m.run, m.norm));
+        rep.row(fields);
+    }
+    let norms: Vec<f64> = measured.iter().map(|m| m.norm).collect();
     let mut chunks = norms.chunks_exact(ws.len());
     for (label, _) in variants {
         let mut cols = Vec::new();
@@ -52,4 +63,5 @@ fn main() {
         }
         t.row(&[label.into(), cols[0].clone(), cols[1].clone()]);
     }
+    rep.write_and_announce();
 }

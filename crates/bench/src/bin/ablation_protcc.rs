@@ -2,9 +2,11 @@
 //! Protean's hardware protections *disabled* (instrumented binaries on
 //! the unsafe core), SPEC2017int on a P-core.
 
-use protean_bench::{geomean, prepare, run_workload, Binary, Defense, TablePrinter};
+use protean_bench::report::{measure_fields, BenchReport};
+use protean_bench::{geomean, prepare, run_workload, Binary, Defense, RunResult, TablePrinter};
 use protean_cc::Pass;
 use protean_isa::code_size;
+use protean_sim::json::Json;
 use protean_sim::CoreConfig;
 use protean_workloads::{spec2017_int, Scale};
 
@@ -29,22 +31,33 @@ fn main() {
         .iter()
         .flat_map(|&p| (0..ws.len()).map(move |w| (p, w)))
         .collect();
-    let measured = protean_jobs::map(&cells, |_, &(pass, w)| {
+    let measured: Vec<(f64, f64, RunResult)> = protean_jobs::map(&cells, |_, &(pass, w)| {
         let w = &ws[w];
         let (program, _) = &w.threads[0];
         let instrumented = prepare(program, Binary::SingleClass(pass));
         let size = code_size(&instrumented) as f64 / code_size(program) as f64;
         let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
-        let inst = run_workload(w, &core, Defense::Unsafe, Binary::SingleClass(pass)).cycles as f64;
-        (size, inst / base)
+        let inst = run_workload(w, &core, Defense::Unsafe, Binary::SingleClass(pass));
+        (size, inst.cycles as f64 / base, inst)
     });
+    let mut rep = BenchReport::new("ablation_protcc");
+    for (&(pass, w), (size, norm, inst)) in cells.iter().zip(&measured) {
+        let mut fields = vec![
+            ("pass", Json::str(pass.name())),
+            ("workload", Json::str(ws[w].name.clone())),
+            ("code_size_ratio", Json::F64(*size)),
+        ];
+        fields.extend(measure_fields(inst, *norm));
+        rep.row(fields);
+    }
     for (pass, chunk) in passes.iter().zip(measured.chunks_exact(ws.len())) {
-        let size: Vec<f64> = chunk.iter().map(|(s, _)| *s).collect();
-        let runtime: Vec<f64> = chunk.iter().map(|(_, r)| *r).collect();
+        let size: Vec<f64> = chunk.iter().map(|(s, _, _)| *s).collect();
+        let runtime: Vec<f64> = chunk.iter().map(|(_, r, _)| *r).collect();
         t.row(&[
             pass.name().into(),
             format!("{:+.1}%", (geomean(&size) - 1.0) * 100.0),
             format!("{:+.1}%", (geomean(&runtime) - 1.0) * 100.0),
         ]);
     }
+    rep.write_and_announce();
 }

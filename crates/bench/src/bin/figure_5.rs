@@ -10,8 +10,10 @@
 //! cargo run --release -p protean-bench --bin figure_5 [--quick]
 //! ```
 
+use protean_bench::report::{measure_fields, BenchReport};
 use protean_bench::{geomean, run_workload, Binary, Defense, TablePrinter};
 use protean_cc::Pass;
+use protean_sim::json::Json;
 use protean_sim::CoreConfig;
 use protean_workloads::{spec2017_int, Scale};
 
@@ -36,21 +38,37 @@ fn main() {
     // (predictor size × pass × workload) cell; per-size aggregation
     // consumes cells in the serial iteration order, so the figure is
     // byte-identical at any `PROTEAN_JOBS` setting.
-    let bases: Vec<f64> = protean_jobs::map(&workloads, |_, w| {
-        run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64
+    let bases = protean_jobs::map(&workloads, |_, w| {
+        run_workload(w, &core, Defense::Unsafe, Binary::Base)
     });
-    let mut cells: Vec<(Defense, Pass, usize)> = Vec::new();
-    for (_, defense) in sizes {
+    let mut cells: Vec<(&String, Defense, Pass, usize)> = Vec::new();
+    for (label, defense) in sizes {
         for pass in [Pass::Arch, Pass::Ct] {
             for w in 0..workloads.len() {
-                cells.push((*defense, pass, w));
+                cells.push((label, *defense, pass, w));
             }
         }
     }
-    let measured = protean_jobs::map(&cells, |_, &(defense, pass, w)| {
-        let r = run_workload(&workloads[w], &core, defense, Binary::SingleClass(pass));
-        (r.cycles as f64 / bases[w], r.mispred_rate)
+    let runs = protean_jobs::map(&cells, |_, &(_, defense, pass, w)| {
+        run_workload(&workloads[w], &core, defense, Binary::SingleClass(pass))
     });
+    let measured: Vec<(f64, Option<f64>)> = runs
+        .iter()
+        .zip(&cells)
+        .map(|(r, &(_, _, _, w))| (r.cycles as f64 / bases[w].cycles as f64, r.mispred_rate))
+        .collect();
+
+    let mut rep = BenchReport::new("figure_5");
+    for ((&(label, _, pass, w), r), &(norm, mispred)) in cells.iter().zip(&runs).zip(&measured) {
+        let mut fields = vec![
+            ("entries", Json::str(label.clone())),
+            ("pass", Json::str(pass.name())),
+            ("workload", Json::str(workloads[w].name.clone())),
+            ("mispred_rate", mispred.map(Json::F64).unwrap_or(Json::Null)),
+        ];
+        fields.extend(measure_fields(r, norm));
+        rep.row(fields);
+    }
 
     let t = TablePrinter::new(&[12, 16, 16]);
     println!("Figure 5: ProtTrack access-predictor sensitivity (SPEC2017int, P-core)");
@@ -74,4 +92,5 @@ fn main() {
             format!("{:+.2}%", (geomean(&norms) - 1.0) * 100.0),
         ]);
     }
+    rep.write_and_announce();
 }

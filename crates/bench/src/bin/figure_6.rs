@@ -6,37 +6,56 @@
 //! cargo run --release -p protean-bench --bin figure_6 [--quick]
 //! ```
 
+use protean_bench::report::{measure_fields, BenchReport};
 use protean_bench::{fmt_norm, geomean, run_workload, Binary, Defense, TablePrinter};
 use protean_cc::Pass;
+use protean_sim::json::Json;
 use protean_sim::CoreConfig;
 use protean_workloads::{parsec, spec2017, Scale, Workload};
 
+const SERIES: [&str; 4] = ["STT", "Track-ARCH", "SPT", "Track-CT"];
+
 // One `protean-jobs` job per benchmark row (the row's five simulations
 // stay serial inside the job); rows print after ordered collection, so
-// stdout is byte-identical at any `PROTEAN_JOBS` setting.
-fn series(workloads: &[Workload], core: &CoreConfig, t: &TablePrinter, acc: &mut [Vec<f64>; 4]) {
+// stdout — and the JSON row order — is byte-identical at any
+// `PROTEAN_JOBS` setting.
+fn series(
+    platform: &str,
+    workloads: &[Workload],
+    core: &CoreConfig,
+    t: &TablePrinter,
+    acc: &mut [Vec<f64>; 4],
+    rep: &mut BenchReport,
+) {
     let rows = protean_jobs::map(workloads, |_, w| {
-        let base = run_workload(w, core, Defense::Unsafe, Binary::Base).cycles as f64;
-        let stt = run_workload(w, core, Defense::Stt, Binary::Base).cycles as f64 / base;
-        let t_arch = run_workload(w, core, Defense::ProtTrack, Binary::SingleClass(Pass::Arch))
-            .cycles as f64
-            / base;
-        let spt = run_workload(w, core, Defense::Spt, Binary::Base).cycles as f64 / base;
-        let t_ct = run_workload(w, core, Defense::ProtTrack, Binary::SingleClass(Pass::Ct)).cycles
-            as f64
-            / base;
-        [stt, t_arch, spt, t_ct]
+        let base = run_workload(w, core, Defense::Unsafe, Binary::Base);
+        let stt = run_workload(w, core, Defense::Stt, Binary::Base);
+        let t_arch = run_workload(w, core, Defense::ProtTrack, Binary::SingleClass(Pass::Arch));
+        let spt = run_workload(w, core, Defense::Spt, Binary::Base);
+        let t_ct = run_workload(w, core, Defense::ProtTrack, Binary::SingleClass(Pass::Ct));
+        (base, [stt, t_arch, spt, t_ct])
     });
-    for (w, row) in workloads.iter().zip(rows) {
-        for (col, v) in acc.iter_mut().zip(row) {
+    for (w, (base, runs)) in workloads.iter().zip(rows) {
+        let mut norms = [0.0f64; 4];
+        for (i, run) in runs.iter().enumerate() {
+            norms[i] = run.cycles as f64 / base.cycles as f64;
+            let mut fields = vec![
+                ("platform", Json::str(platform)),
+                ("workload", Json::str(w.name.clone())),
+                ("defense", Json::str(SERIES[i])),
+            ];
+            fields.extend(measure_fields(run, norms[i]));
+            rep.row(fields);
+        }
+        for (col, v) in acc.iter_mut().zip(norms) {
             col.push(v);
         }
         t.row(&[
             w.name.clone(),
-            fmt_norm(row[0]),
-            fmt_norm(row[1]),
-            fmt_norm(row[2]),
-            fmt_norm(row[3]),
+            fmt_norm(norms[0]),
+            fmt_norm(norms[1]),
+            fmt_norm(norms[2]),
+            fmt_norm(norms[3]),
         ]);
     }
 }
@@ -61,8 +80,23 @@ fn main() {
         spec.truncate(3);
         par.truncate(1);
     }
-    series(&spec, &CoreConfig::p_core(), &t, &mut acc);
-    series(&par, &CoreConfig::e_core_mt(), &t, &mut acc);
+    let mut rep = BenchReport::new("figure_6");
+    series(
+        "SPEC2017",
+        &spec,
+        &CoreConfig::p_core(),
+        &t,
+        &mut acc,
+        &mut rep,
+    );
+    series(
+        "PARSEC",
+        &par,
+        &CoreConfig::e_core_mt(),
+        &t,
+        &mut acc,
+        &mut rep,
+    );
     t.sep();
     t.row(&[
         "geomean".into(),
@@ -71,4 +105,5 @@ fn main() {
         fmt_norm(geomean(&acc[2])),
         fmt_norm(geomean(&acc[3])),
     ]);
+    rep.write_and_announce();
 }

@@ -7,6 +7,8 @@
 //!     [--pass arch|cts|ct|unr|multi]     # ProtCC instrumentation
 //!     [--core p|e|tiny]
 //!     [--timeline N]                      # print the first N committed µops' stage timing
+//!     [--trace]                           # pipeline diagram + defense audit log
+//!     [--trace-json FILE]                 # write a Chrome trace-event JSON file
 //!     [--max-insts N]
 //! ```
 
@@ -28,6 +30,8 @@ fn main() {
     let mut binary = Binary::Base;
     let mut core = CoreConfig::p_core();
     let mut timeline = 0usize;
+    let mut trace = false;
+    let mut trace_json: Option<String> = None;
     let mut max_insts = 5_000_000u64;
 
     let mut it = args.iter().peekable();
@@ -69,6 +73,14 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--timeline needs a count"));
             }
+            "--trace" => trace = true,
+            "--trace-json" => {
+                trace_json = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--trace-json needs a path")),
+                );
+            }
             "--max-insts" => {
                 max_insts = it
                     .next()
@@ -89,6 +101,9 @@ fn main() {
     let program = assemble(&source).unwrap_or_else(|e| die(&format!("{file}: {e}")));
     let prepared = prepare(&program, binary);
 
+    if trace || trace_json.is_some() {
+        core.trace = true;
+    }
     let mut c = Core::new(&prepared, core, defense.make(), &ArchState::new());
     if timeline > 0 {
         c.record_traces(true);
@@ -135,6 +150,17 @@ fn main() {
                 "  {:#08x}: {:>6} {:>6} {:>6} {:>6} {:>6}",
                 row[0], row[1], row[2], row[3], row[4], row[5]
             );
+        }
+    }
+    if let Some(tr) = &r.trace {
+        if trace {
+            println!("\n{}", tr.render_pipeline(64, 160));
+            println!("{}", tr.render_audit(32));
+        }
+        if let Some(path) = &trace_json {
+            std::fs::write(path, tr.to_chrome_trace())
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            println!("wrote chrome trace to {path}");
         }
     }
 }

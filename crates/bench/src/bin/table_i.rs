@@ -8,21 +8,37 @@
 //! cargo run --release -p protean-bench --bin table_i [--quick]
 //! ```
 
-use protean_bench::{geomean, run_workload, Binary, Defense, TablePrinter};
+use protean_bench::report::{measure_fields, BenchReport};
+use protean_bench::{geomean, measure, Binary, Defense, TablePrinter};
 use protean_cc::Pass;
 use protean_core::area;
+use protean_sim::json::Json;
 use protean_sim::CoreConfig;
 use protean_workloads::{arch_wasm, ct_crypto, cts_crypto, nginx, unr_crypto, Scale, Workload};
 
 // One `protean-jobs` job per workload (base + defense run); the geomean
-// consumes results in workload order, so the table is byte-identical at
-// any `PROTEAN_JOBS` setting.
-fn overhead(ws: &[Workload], d: Defense, binary: impl Fn(&Workload) -> Binary + Sync) -> f64 {
+// consumes results in workload order, so the table — and the JSON rows
+// pushed per workload — is byte-identical at any `PROTEAN_JOBS` setting.
+fn overhead(
+    rep: &mut BenchReport,
+    defense_label: &str,
+    suite: &str,
+    ws: &[Workload],
+    d: Defense,
+    binary: impl Fn(&Workload) -> Binary + Sync,
+) -> f64 {
     let core = CoreConfig::p_core();
-    let norms: Vec<f64> = protean_jobs::map(ws, |_, w| {
-        let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
-        run_workload(w, &core, d, binary(w)).cycles as f64 / base
-    });
+    let measured = protean_jobs::map(ws, |_, w| measure(w, &core, d, binary(w)));
+    for (w, m) in ws.iter().zip(&measured) {
+        let mut fields = vec![
+            ("defense", Json::str(defense_label)),
+            ("suite", Json::str(suite)),
+            ("workload", Json::str(w.name.clone())),
+        ];
+        fields.extend(measure_fields(&m.run, m.norm));
+        rep.row(fields);
+    }
+    let norms: Vec<f64> = measured.iter().map(|m| m.norm).collect();
     (geomean(&norms) - 1.0) * 100.0
 }
 
@@ -53,23 +69,39 @@ fn main() {
 
     // Per paper Tab. I: percentage = overhead of the most performant
     // available defense securing that class; ✗ = does not secure.
-    let stt_arch = overhead(&arch, Defense::Stt, base_bin);
-    let spt_cts = overhead(&cts, Defense::Spt, base_bin);
-    let spt_ct = overhead(&ct, Defense::Spt, base_bin);
-    let sptsb_unr = overhead(&unr, Defense::SptSb, base_bin);
-    let sptsb_multi = overhead(&multi, Defense::SptSb, base_bin);
+    let mut rep = BenchReport::new("table_i");
+    let stt_arch = overhead(&mut rep, "STT", "ARCH-Wasm", &arch, Defense::Stt, base_bin);
+    let spt_cts = overhead(&mut rep, "SPT", "CTS-Crypto", &cts, Defense::Spt, base_bin);
+    let spt_ct = overhead(&mut rep, "SPT", "CT-Crypto", &ct, Defense::Spt, base_bin);
+    let sptsb_unr = overhead(
+        &mut rep,
+        "SPT-SB",
+        "UNR-Crypto",
+        &unr,
+        Defense::SptSb,
+        base_bin,
+    );
+    let sptsb_multi = overhead(
+        &mut rep,
+        "SPT-SB",
+        "nginx",
+        &multi,
+        Defense::SptSb,
+        base_bin,
+    );
 
-    let protean = |d: Defense| {
+    let mut protean = |d: Defense, label: &str| {
+        let class_bin = |w: &Workload| Binary::SingleClass(Pass::for_class(w.class));
         (
-            overhead(&arch, d, |w| Binary::SingleClass(Pass::for_class(w.class))),
-            overhead(&cts, d, |w| Binary::SingleClass(Pass::for_class(w.class))),
-            overhead(&ct, d, |w| Binary::SingleClass(Pass::for_class(w.class))),
-            overhead(&unr, d, |w| Binary::SingleClass(Pass::for_class(w.class))),
-            overhead(&multi, d, |_| Binary::MultiClass),
+            overhead(&mut rep, label, "ARCH-Wasm", &arch, d, class_bin),
+            overhead(&mut rep, label, "CTS-Crypto", &cts, d, class_bin),
+            overhead(&mut rep, label, "CT-Crypto", &ct, d, class_bin),
+            overhead(&mut rep, label, "UNR-Crypto", &unr, d, class_bin),
+            overhead(&mut rep, label, "nginx", &multi, d, |_| Binary::MultiClass),
         )
     };
-    let (d_arch, d_cts, d_ct, d_unr, d_multi) = protean(Defense::ProtDelay);
-    let (t_arch, t_cts, t_ct, t_unr, t_multi) = protean(Defense::ProtTrack);
+    let (d_arch, d_cts, d_ct, d_unr, d_multi) = protean(Defense::ProtDelay, "PROTEAN (ProtDelay)");
+    let (t_arch, t_cts, t_ct, t_unr, t_multi) = protean(Defense::ProtTrack, "PROTEAN (ProtTrack)");
 
     let t = TablePrinter::new(&[22, 14, 8, 8, 8, 8, 10]);
     println!("Table I: defenses, ProtSets, and targeted classes (measured overheads)");
@@ -148,4 +180,5 @@ fn main() {
         area::prot_bit_array_area_mm2(32 * 1024),
         area::prot_bit_area_overhead(32 * 1024, area::E_CORE_L1D_AREA_MM2) * 100.0,
     );
+    rep.write_and_announce();
 }

@@ -15,9 +15,11 @@
 //! ```
 
 use protean_amulet::{fuzz, Adversary, ContractKind, FuzzConfig, Report};
+use protean_bench::report::BenchReport;
 use protean_bench::TablePrinter;
 use protean_cc::Pass;
 use protean_core::{ProtDelayPolicy, ProtTrackPolicy};
+use protean_sim::json::Json;
 use protean_sim::{DefensePolicy, UnsafePolicy};
 
 fn campaign(
@@ -99,4 +101,21 @@ fn main() {
     }
     t.sep();
     println!("Expected: >0 true positives for Unsafe, 0 for ProtDelay/ProtTrack.");
+
+    let mut rep = BenchReport::new("table_ii");
+    let defenses = ["Unsafe", "ProtDelay", "ProtTrack"];
+    for (i, &(r, c)) in cells.iter().enumerate() {
+        let (contract_name, instr, _, _) = rows[r];
+        let report = &reports[i];
+        rep.row(vec![
+            ("contract", Json::str(contract_name)),
+            ("instrumentation", Json::str(instr)),
+            ("defense", Json::str(defenses[c])),
+            ("tests", Json::U64(report.tests)),
+            ("pairs_rejected", Json::U64(report.pairs_rejected)),
+            ("violations", Json::U64(report.violations)),
+            ("false_positives", Json::U64(report.false_positives)),
+        ]);
+    }
+    rep.write_and_announce();
 }

@@ -11,8 +11,10 @@
 //! cargo run --release -p protean-bench --bin table_iv [--quick]
 //! ```
 
+use protean_bench::report::{measure_fields, BenchReport};
 use protean_bench::{fmt_norm, geomean, run_workload, Binary, Defense, TablePrinter};
 use protean_cc::Pass;
+use protean_sim::json::Json;
 use protean_sim::CoreConfig;
 use protean_workloads::{parsec, spec2017, Scale, Workload};
 
@@ -47,27 +49,48 @@ fn rows() -> Vec<ClassRow> {
     ]
 }
 
-fn platform(label: &str, core: &CoreConfig, workloads: &[Workload], t: &TablePrinter) {
+fn platform(
+    label: &str,
+    core: &CoreConfig,
+    workloads: &[Workload],
+    t: &TablePrinter,
+    rep: &mut BenchReport,
+) {
     // Unsafe baselines, once per workload (one job each).
-    let bases: Vec<f64> = protean_jobs::map(workloads, |_, w| {
-        run_workload(w, core, Defense::Unsafe, Binary::Base).cycles as f64
+    let bases = protean_jobs::map(workloads, |_, w| {
+        run_workload(w, core, Defense::Unsafe, Binary::Base)
     });
     // One job per (class row × defense column × workload) simulation;
     // results come back in job order, so the geomeans below accumulate
     // in exactly the serial iteration order.
     let rows = rows();
-    let mut cells: Vec<(Defense, Binary, usize)> = Vec::new();
+    let mut cells: Vec<(&'static str, Defense, Binary, usize)> = Vec::new();
     for row in &rows {
         let binary = Binary::SingleClass(row.pass);
         for w in 0..workloads.len() {
-            cells.push((row.baseline, Binary::Base, w));
-            cells.push((Defense::ProtDelay, binary, w));
-            cells.push((Defense::ProtTrack, binary, w));
+            cells.push((row.class, row.baseline, Binary::Base, w));
+            cells.push((row.class, Defense::ProtDelay, binary, w));
+            cells.push((row.class, Defense::ProtTrack, binary, w));
         }
     }
-    let norms = protean_jobs::map(&cells, |_, &(defense, binary, w)| {
-        run_workload(&workloads[w], core, defense, binary).cycles as f64 / bases[w]
+    let runs = protean_jobs::map(&cells, |_, &(_, defense, binary, w)| {
+        run_workload(&workloads[w], core, defense, binary)
     });
+    let norms: Vec<f64> = runs
+        .iter()
+        .zip(&cells)
+        .map(|(r, &(_, _, _, w))| r.cycles as f64 / bases[w].cycles as f64)
+        .collect();
+    for ((&(class, defense, _, w), run), &norm) in cells.iter().zip(&runs).zip(&norms) {
+        let mut fields = vec![
+            ("platform", Json::str(label)),
+            ("class", Json::str(class)),
+            ("defense", Json::str(format!("{defense:?}"))),
+            ("workload", Json::str(workloads[w].name.clone())),
+        ];
+        fields.extend(measure_fields(run, norm));
+        rep.row(fields);
+    }
     let mut it = norms.chunks_exact(3);
     for row in &rows {
         let mut bl = Vec::new();
@@ -110,7 +133,21 @@ fn main() {
         spec.truncate(3);
         par.truncate(2);
     }
-    platform("SPEC2017 P-core", &CoreConfig::p_core(), &spec, &t);
-    platform("SPEC2017 E-core", &CoreConfig::e_core(), &spec, &t);
-    platform("PARSEC", &CoreConfig::e_core_mt(), &par, &t);
+    let mut rep = BenchReport::new("table_iv");
+    platform(
+        "SPEC2017 P-core",
+        &CoreConfig::p_core(),
+        &spec,
+        &t,
+        &mut rep,
+    );
+    platform(
+        "SPEC2017 E-core",
+        &CoreConfig::e_core(),
+        &spec,
+        &t,
+        &mut rep,
+    );
+    platform("PARSEC", &CoreConfig::e_core_mt(), &par, &t, &mut rep);
+    rep.write_and_announce();
 }

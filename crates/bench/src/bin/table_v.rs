@@ -12,9 +12,40 @@
 //! cargo run --release -p protean-bench --bin table_v [--quick] [--scale N]
 //! ```
 
-use protean_bench::{binary_for, fmt_norm, geomean, run_workload, Binary, Defense, TablePrinter};
+use protean_bench::report::{measure_fields, BenchReport};
+use protean_bench::{
+    binary_for, fmt_norm, geomean, run_workload, Binary, Defense, RunResult, TablePrinter,
+};
+use protean_sim::json::Json;
 use protean_sim::CoreConfig;
 use protean_workloads::{arch_wasm, ct_crypto, cts_crypto, nginx, unr_crypto, Scale, Workload};
+
+// Pushes the three defense-column JSON rows for one table row.
+fn json_rows(
+    rep: &mut BenchReport,
+    suite: &str,
+    workload: &str,
+    baseline: Defense,
+    runs: &[RunResult; 4],
+) {
+    let labels = [
+        format!("{baseline:?}"),
+        "ProtDelay".into(),
+        "ProtTrack".into(),
+    ];
+    for (label, run) in labels.iter().zip(&runs[1..]) {
+        let mut fields = vec![
+            ("suite", Json::str(suite)),
+            ("workload", Json::str(workload)),
+            ("defense", Json::str(label.clone())),
+        ];
+        fields.extend(measure_fields(
+            run,
+            run.cycles as f64 / runs[0].cycles as f64,
+        ));
+        rep.row(fields);
+    }
+}
 
 fn main() {
     let (quick, scale) = protean_bench::parse_flags();
@@ -38,33 +69,33 @@ fn main() {
 
     // One job per workload row: the row's four runs stay serial inside
     // the job, rows fan out across workers.
-    let row_jobs: Vec<(&Workload, Defense)> = suites
+    let row_jobs: Vec<(&'static str, &Workload, Defense)> = suites
         .iter()
-        .flat_map(|(_, baseline, ws)| ws.iter().map(move |w| (w, *baseline)))
+        .flat_map(|(suite, baseline, ws)| ws.iter().map(move |w| (*suite, w, *baseline)))
         .collect();
-    let row_norms = protean_jobs::map(&row_jobs, |_, &(w, baseline)| {
-        let base = run_workload(w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
-        let b = run_workload(w, &core, baseline, Binary::Base).cycles as f64 / base;
+    let row_runs = protean_jobs::map(&row_jobs, |_, &(_, w, baseline)| {
+        let base = run_workload(w, &core, Defense::Unsafe, Binary::Base);
+        let b = run_workload(w, &core, baseline, Binary::Base);
         let d = run_workload(
             w,
             &core,
             Defense::ProtDelay,
             binary_for(Defense::ProtDelay, w.class),
-        )
-        .cycles as f64
-            / base;
+        );
         let k = run_workload(
             w,
             &core,
             Defense::ProtTrack,
             binary_for(Defense::ProtTrack, w.class),
-        )
-        .cycles as f64
-            / base;
-        (b, d, k)
+        );
+        [base, b, d, k]
     });
+    let mut rep = BenchReport::new("table_v");
+    for (&(suite, w, baseline), runs) in row_jobs.iter().zip(&row_runs) {
+        json_rows(&mut rep, suite, &w.name, baseline, runs);
+    }
 
-    let mut next_row = row_norms.into_iter();
+    let mut next_row = row_runs.into_iter();
     for (suite, baseline, workloads) in &suites {
         t.sep();
         t.row(&[
@@ -76,7 +107,13 @@ fn main() {
         t.sep();
         let mut cols: [Vec<f64>; 3] = [vec![], vec![], vec![]];
         for w in workloads {
-            let (b, d, k) = next_row.next().expect("one result per row");
+            let runs = next_row.next().expect("one result per row");
+            let base = runs[0].cycles as f64;
+            let (b, d, k) = (
+                runs[1].cycles as f64 / base,
+                runs[2].cycles as f64 / base,
+                runs[3].cycles as f64 / base,
+            );
             cols[0].push(b);
             cols[1].push(d);
             cols[2].push(k);
@@ -107,16 +144,21 @@ fn main() {
     };
     let grid_rows = protean_jobs::map(grid, |_, &(c, r)| {
         let w = nginx(c, r, scale);
-        let base = run_workload(&w, &core, Defense::Unsafe, Binary::Base).cycles as f64;
-        let b = run_workload(&w, &core, Defense::SptSb, Binary::Base).cycles as f64 / base;
-        let d =
-            run_workload(&w, &core, Defense::ProtDelay, Binary::MultiClass).cycles as f64 / base;
-        let k =
-            run_workload(&w, &core, Defense::ProtTrack, Binary::MultiClass).cycles as f64 / base;
-        (w.name.clone(), b, d, k)
+        let base = run_workload(&w, &core, Defense::Unsafe, Binary::Base);
+        let b = run_workload(&w, &core, Defense::SptSb, Binary::Base);
+        let d = run_workload(&w, &core, Defense::ProtDelay, Binary::MultiClass);
+        let k = run_workload(&w, &core, Defense::ProtTrack, Binary::MultiClass);
+        (w.name.clone(), [base, b, d, k])
     });
     let mut cols: [Vec<f64>; 3] = [vec![], vec![], vec![]];
-    for (name, b, d, k) in grid_rows {
+    for (name, runs) in grid_rows {
+        json_rows(&mut rep, "Multi-Class", &name, Defense::SptSb, &runs);
+        let base = runs[0].cycles as f64;
+        let (b, d, k) = (
+            runs[1].cycles as f64 / base,
+            runs[2].cycles as f64 / base,
+            runs[3].cycles as f64 / base,
+        );
         cols[0].push(b);
         cols[1].push(d);
         cols[2].push(k);
@@ -128,4 +170,5 @@ fn main() {
         fmt_norm(geomean(&cols[1])),
         fmt_norm(geomean(&cols[2])),
     ]);
+    rep.write_and_announce();
 }

@@ -10,6 +10,14 @@
 //! Sample counts can be overridden without editing code via
 //! `PROTEAN_BENCH_SAMPLES` and `PROTEAN_BENCH_WARMUP`.
 //!
+//! Setting `PROTEAN_BENCH_JSON=1` additionally writes each group's
+//! results as a [`crate::report`] file (`harness_<group>.json`, one row
+//! per case with `median_ns`/`min_ns`/`max_ns`) when the [`Bench`] is
+//! dropped. This is opt-in — wall-clock numbers are machine-dependent,
+//! so unlike the table/figure reports they are *not* expected to be
+//! byte-identical across runs, and nothing is written during
+//! `cargo test`.
+//!
 //! [`Bench::run_parallel`] fans a group's cases out on the
 //! `protean-jobs` pool — cases run in parallel, the samples *within* a
 //! case stay serial, and report lines print in case order once every
@@ -26,7 +34,10 @@
 //! bench.run("naive", || (0..1_000_000u64).sum::<u64>());
 //! ```
 
+use crate::report::BenchReport;
+use protean_sim::json::Json;
 use std::hint::black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// A named benchmark case for [`Bench::run_parallel`]: a label plus the
@@ -40,25 +51,32 @@ pub const DEFAULT_SAMPLES: u32 = 10;
 pub const DEFAULT_WARMUP: u32 = 2;
 
 /// A named group of benchmark cases with shared sample settings.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Bench {
     group: &'static str,
     samples: u32,
     warmup: u32,
+    /// Case rows accumulated for the opt-in `PROTEAN_BENCH_JSON` report;
+    /// `None` when JSON output is disabled.
+    json: Option<Mutex<Vec<(String, Stats)>>>,
 }
 
 impl Bench {
     /// Creates a benchmark group named `group` (prefixes every case in
     /// the report). `PROTEAN_BENCH_SAMPLES` and `PROTEAN_BENCH_WARMUP`
     /// override the defaults and any values set with
-    /// [`Bench::samples`]/[`Bench::warmup`].
+    /// [`Bench::samples`]/[`Bench::warmup`]; `PROTEAN_BENCH_JSON=1`
+    /// enables the JSON report written on drop.
     pub fn new(group: &'static str) -> Bench {
+        let json_on = std::env::var("PROTEAN_BENCH_JSON")
+            .is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0");
         Bench {
             group,
             samples: env_u32("PROTEAN_BENCH_SAMPLES")
                 .unwrap_or(DEFAULT_SAMPLES)
                 .max(1),
             warmup: env_u32("PROTEAN_BENCH_WARMUP").unwrap_or(DEFAULT_WARMUP),
+            json: json_on.then(|| Mutex::new(Vec::new())),
         }
     }
 
@@ -136,6 +154,31 @@ impl Bench {
             fmt_duration(stats.max),
             stats.samples,
         );
+        if let Some(rows) = &self.json {
+            rows.lock().expect("bench rows").push((case.into(), *stats));
+        }
+    }
+}
+
+impl Drop for Bench {
+    fn drop(&mut self) {
+        let Some(rows) = &self.json else { return };
+        let rows = std::mem::take(&mut *rows.lock().expect("bench rows"));
+        if rows.is_empty() {
+            return;
+        }
+        let mut rep = BenchReport::new(&format!("harness_{}", self.group));
+        for (case, s) in rows {
+            rep.row(vec![
+                ("group", Json::str(self.group)),
+                ("case", Json::str(case)),
+                ("median_ns", Json::U64(s.median.as_nanos() as u64)),
+                ("min_ns", Json::U64(s.min.as_nanos() as u64)),
+                ("max_ns", Json::U64(s.max.as_nanos() as u64)),
+                ("samples", Json::U64(u64::from(s.samples))),
+            ]);
+        }
+        rep.write_and_announce();
     }
 }
 

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod report;
 
 use protean_baselines::{AccessDelayPolicy, SptPolicy, SptSbPolicy, SttPolicy};
 use protean_cc::{compile, compile_with, Pass};
@@ -138,6 +139,15 @@ pub struct RunResult {
     pub committed: u64,
     /// Access-predictor misprediction rate, when the policy reports one.
     pub mispred_rate: Option<f64>,
+    /// Cycles µops spent blocked at the execute gate (summed over
+    /// threads).
+    pub exec_blocked_cycles: u64,
+    /// Cycles µops spent blocked at the wakeup gate (summed over
+    /// threads).
+    pub wakeup_blocked_cycles: u64,
+    /// Cycles squashes spent blocked at the resolve gate (summed over
+    /// threads).
+    pub resolve_blocked_cycles: u64,
 }
 
 /// Runs `workload` under `defense` on `core`, preparing the binary per
@@ -179,10 +189,16 @@ pub fn run_workload(
                 t.exit
             );
         }
+        let sum = |f: fn(&protean_sim::Stats) -> u64| -> u64 {
+            result.threads.iter().map(|t| f(&t.stats)).sum()
+        };
         RunResult {
             cycles: result.makespan,
             committed: result.total_committed(),
             mispred_rate: mispred_of(&result.threads[0].stats.policy),
+            exec_blocked_cycles: sum(|s| s.exec_blocked_cycles),
+            wakeup_blocked_cycles: sum(|s| s.wakeup_blocked_cycles),
+            resolve_blocked_cycles: sum(|s| s.resolve_blocked_cycles),
         }
     } else {
         let (program, init) = &workload.threads[0];
@@ -200,6 +216,9 @@ pub fn run_workload(
             cycles: result.stats.cycles,
             committed: result.stats.committed,
             mispred_rate: mispred_of(&result.stats.policy),
+            exec_blocked_cycles: result.stats.exec_blocked_cycles,
+            wakeup_blocked_cycles: result.stats.wakeup_blocked_cycles,
+            resolve_blocked_cycles: result.stats.resolve_blocked_cycles,
         }
     }
 }
@@ -211,12 +230,41 @@ fn mispred_of(policy_stats: &[(String, f64)]) -> Option<f64> {
         .map(|(_, v)| *v)
 }
 
+/// One measured table cell: the defense run, its unsafe baseline on the
+/// same core, and the normalized runtime relating them.
+#[derive(Clone, Copy, Debug)]
+pub struct Measured {
+    /// The defense run.
+    pub run: RunResult,
+    /// The unsafe-baseline run on the same workload and core.
+    pub base: RunResult,
+    /// `run.cycles / base.cycles`.
+    pub norm: f64,
+}
+
+/// Runs `defense` and the unsafe baseline on `workload`, returning both
+/// results plus the normalized runtime. The JSON-emitting bench binaries
+/// use this instead of [`normalized`] so a single cell job yields every
+/// reported counter.
+pub fn measure(
+    workload: &Workload,
+    core: &CoreConfig,
+    defense: Defense,
+    binary: Binary,
+) -> Measured {
+    let base = run_workload(workload, core, Defense::Unsafe, Binary::Base);
+    let run = run_workload(workload, core, defense, binary);
+    Measured {
+        run,
+        base,
+        norm: run.cycles as f64 / base.cycles as f64,
+    }
+}
+
 /// Normalized runtime of `defense` on `workload`: defense cycles divided
 /// by the unsafe baseline's cycles (both on `core`).
 pub fn normalized(workload: &Workload, core: &CoreConfig, defense: Defense, binary: Binary) -> f64 {
-    let base = run_workload(workload, core, Defense::Unsafe, Binary::Base);
-    let run = run_workload(workload, core, defense, binary);
-    run.cycles as f64 / base.cycles as f64
+    measure(workload, core, defense, binary).norm
 }
 
 /// The binary a defense should run for a single-class workload.

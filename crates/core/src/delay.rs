@@ -19,7 +19,7 @@
 
 use crate::support::is_access_transmitter;
 use protean_isa::TransmitterSet;
-use protean_sim::{Cache, DefensePolicy, DynInst, RegTags, SpecFrontier};
+use protean_sim::{BlockPoint, Cache, DefensePolicy, DynInst, RegTags, SpecFrontier};
 
 /// The ProtDelay policy.
 ///
@@ -130,5 +130,31 @@ impl DefensePolicy for ProtDelayPolicy {
         // `ret` transmits its loaded target: protected bytes must not
         // resolve it.
         u.mem_prot != Some(true)
+    }
+
+    fn block_rule(
+        &self,
+        u: &DynInst,
+        point: BlockPoint,
+        tags: &RegTags,
+        _fr: &SpecFrontier,
+    ) -> &'static str {
+        match point {
+            BlockPoint::Execute => "access-transmitter-delay",
+            BlockPoint::Wakeup => {
+                if u.mem_prot == Some(true) {
+                    "protected-mem-access-wakeup"
+                } else {
+                    "protected-reg-access-wakeup"
+                }
+            }
+            BlockPoint::Resolve => {
+                if is_access_transmitter(u, &self.xmit, tags) {
+                    "protected-branch-resolve"
+                } else {
+                    "protected-ret-target-resolve"
+                }
+            }
+        }
     }
 }

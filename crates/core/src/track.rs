@@ -24,7 +24,8 @@ use crate::predictor::AccessPredictor;
 use crate::support::is_access_transmitter;
 use protean_isa::TransmitterSet;
 use protean_sim::{
-    sensitive_root_tainted, Cache, DefensePolicy, DynInst, RegTags, SpecFrontier, NO_ROOT,
+    sensitive_root_tainted, BlockPoint, Cache, DefensePolicy, DynInst, RegTags, SpecFrontier,
+    NO_ROOT,
 };
 
 /// The ProtTrack policy.
@@ -212,6 +213,40 @@ impl DefensePolicy for ProtTrackPolicy {
             }
         }
         true
+    }
+
+    fn block_rule(
+        &self,
+        u: &DynInst,
+        point: BlockPoint,
+        tags: &RegTags,
+        fr: &SpecFrontier,
+    ) -> &'static str {
+        match point {
+            BlockPoint::Execute => {
+                if sensitive_root_tainted(u, &self.xmit, tags, fr) {
+                    "tainted-transmitter-delay"
+                } else {
+                    "access-transmitter-delay"
+                }
+            }
+            BlockPoint::Wakeup => {
+                if u.delay_wakeup_nonspec && !fr.is_non_speculative(u.seq) {
+                    "protdelay-fallback-wakeup"
+                } else {
+                    "tainted-forward-wakeup"
+                }
+            }
+            BlockPoint::Resolve => {
+                if sensitive_root_tainted(u, &self.xmit, tags, fr) {
+                    "tainted-branch-resolve"
+                } else if is_access_transmitter(u, &self.xmit, tags) {
+                    "protected-branch-resolve"
+                } else {
+                    "ret-target-resolve"
+                }
+            }
+        }
     }
 
     fn on_commit(&mut self, u: &DynInst, _tags: &mut RegTags, _l1d: &mut Cache) {

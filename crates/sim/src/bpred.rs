@@ -108,8 +108,14 @@ impl TagePredictor {
         match provider {
             Some((table, idx)) => {
                 let e = &mut self.tables[table][idx];
+                // Credit the useful bit from the *provider's own*
+                // direction, not the overall prediction: the provider may
+                // have been overridden (or simply wrong) while the final
+                // prediction was right, and pinning it useful would
+                // permanently block allocation of longer-history entries.
+                let provider_pred = e.ctr >= 0;
                 e.ctr = (e.ctr + if taken { 1 } else { -1 }).clamp(-4, 3);
-                e.useful |= predicted == taken;
+                e.useful |= provider_pred == taken;
             }
             None => {
                 let bi = self.base_index(pc);
@@ -188,9 +194,16 @@ impl Btb {
 
 /// A return stack buffer (circular, drops on overflow like real RSBs —
 /// the Retbleed-style underflow behaviour is faithfully mispredictive).
+///
+/// Implemented as a true ring buffer: overflow overwrites the oldest
+/// entry in O(1) (`push` sits on the fetch hot path, once per `call`).
 #[derive(Clone, Debug)]
 pub struct Rsb {
-    stack: Vec<u64>,
+    buf: Vec<u64>,
+    /// Index of the oldest live entry.
+    start: usize,
+    /// Number of live entries (`<= capacity`).
+    len: usize,
     capacity: usize,
 }
 
@@ -198,32 +211,51 @@ impl Rsb {
     /// Creates an RSB holding up to `capacity` return addresses.
     pub fn new(capacity: usize) -> Rsb {
         Rsb {
-            stack: Vec::with_capacity(capacity),
+            buf: vec![0; capacity],
+            start: 0,
+            len: 0,
             capacity,
         }
     }
 
     /// Pushes a return address (on `call`); drops the oldest on overflow.
     pub fn push(&mut self, ret: u64) {
-        if self.stack.len() == self.capacity {
-            self.stack.remove(0);
+        if self.capacity == 0 {
+            return;
         }
-        self.stack.push(ret);
+        if self.len == self.capacity {
+            // Overwrite the oldest: the slot at `start` becomes the
+            // newest and the next-oldest becomes the new start.
+            self.buf[self.start] = ret;
+            self.start = (self.start + 1) % self.capacity;
+        } else {
+            self.buf[(self.start + self.len) % self.capacity] = ret;
+            self.len += 1;
+        }
     }
 
     /// Pops a predicted return target (on `ret`).
     pub fn pop(&mut self) -> Option<u64> {
-        self.stack.pop()
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        Some(self.buf[(self.start + self.len) % self.capacity])
     }
 
-    /// Snapshot for squash recovery.
+    /// Snapshot for squash recovery: live entries, oldest → newest.
     pub fn snapshot(&self) -> Vec<u64> {
-        self.stack.clone()
+        (0..self.len)
+            .map(|i| self.buf[(self.start + i) % self.capacity])
+            .collect()
     }
 
-    /// Restores a snapshot.
+    /// Restores a snapshot (as produced by [`Rsb::snapshot`]).
     pub fn restore(&mut self, snapshot: Vec<u64>) {
-        self.stack = snapshot;
+        debug_assert!(snapshot.len() <= self.capacity);
+        self.len = snapshot.len().min(self.capacity);
+        self.start = 0;
+        self.buf[..self.len].copy_from_slice(&snapshot[..self.len]);
     }
 }
 
@@ -305,6 +337,65 @@ mod tests {
     }
 
     #[test]
+    fn tage_useful_credits_provider_direction_not_overall() {
+        // Regression: the useful bit must reflect whether the *provider's
+        // own counter* predicted correctly, not whether the overall
+        // prediction was right. (The two differ when the global history
+        // at update time selects a different provider than at predict
+        // time, so the update-time provider can be credited for a
+        // prediction it did not make.)
+        let mut p = TagePredictor::new();
+        let pc = 0x8888;
+        let idx = p.index(pc, 0);
+        let tag = p.tag(pc, 0);
+        // Seed a table-0 provider whose own counter says not-taken.
+        p.tables[0][idx] = TageEntry {
+            tag,
+            ctr: -1,
+            useful: false,
+        };
+        // Overall prediction `taken`, outcome taken: overall correct,
+        // provider wrong.
+        p.update(pc, true, true);
+        assert!(
+            !p.tables[0][idx].useful,
+            "a provider whose own direction mispredicted must not be pinned useful"
+        );
+    }
+
+    #[test]
+    fn tage_allocation_proceeds_after_provider_mispredictions() {
+        let mut p = TagePredictor::new();
+        let pc = 0x8888;
+        let idx = p.index(pc, 0);
+        let tag = p.tag(pc, 0);
+        p.tables[0][idx] = TageEntry {
+            tag,
+            ctr: -1,
+            useful: false,
+        };
+        // Repeated provider mispredictions under correct overall
+        // predictions: the pre-fix code pinned `useful` on the first.
+        for _ in 0..4 {
+            p.restore_history(0);
+            p.tables[0][idx].ctr = -1;
+            p.update(pc, true, true);
+        }
+        assert!(!p.tables[0][idx].useful);
+        // An aliasing branch now occupies the slot (same index, other
+        // tag). A base-provider misprediction must reclaim the slot at
+        // table 0 immediately instead of being stuck aging a
+        // falsely-useful entry into a longer table.
+        p.tables[0][idx].tag = tag ^ 0x1;
+        p.restore_history(0);
+        p.update(pc, false, true);
+        assert_eq!(
+            p.tables[0][idx].tag, tag,
+            "misprediction must allocate the non-useful table-0 slot"
+        );
+    }
+
+    #[test]
     fn rsb_snapshot_roundtrip() {
         let mut rsb = Rsb::new(4);
         rsb.push(7);
@@ -312,5 +403,44 @@ mod tests {
         rsb.pop();
         rsb.restore(snap);
         assert_eq!(rsb.pop(), Some(7));
+    }
+
+    #[test]
+    fn rsb_wraps_around_many_times() {
+        // Drive the ring through several full wraps and check drop-oldest
+        // LIFO semantics and snapshot order (oldest → newest) throughout.
+        let mut rsb = Rsb::new(3);
+        for v in 1..=10 {
+            rsb.push(v);
+        }
+        assert_eq!(rsb.snapshot(), vec![8, 9, 10]);
+        assert_eq!(rsb.pop(), Some(10));
+        // Push after a pop mid-ring: 8, 9, 11.
+        rsb.push(11);
+        assert_eq!(rsb.snapshot(), vec![8, 9, 11]);
+        // Overflow again: drops 8.
+        rsb.push(12);
+        assert_eq!(rsb.snapshot(), vec![9, 11, 12]);
+        assert_eq!(rsb.pop(), Some(12));
+        assert_eq!(rsb.pop(), Some(11));
+        assert_eq!(rsb.pop(), Some(9));
+        assert_eq!(rsb.pop(), None);
+        // Restore a partial snapshot into a wrapped ring.
+        for v in 20..=25 {
+            rsb.push(v);
+        }
+        rsb.restore(vec![1, 2]);
+        assert_eq!(rsb.pop(), Some(2));
+        assert_eq!(rsb.pop(), Some(1));
+        assert_eq!(rsb.pop(), None);
+    }
+
+    #[test]
+    fn rsb_zero_capacity_is_inert() {
+        let mut rsb = Rsb::new(0);
+        rsb.push(1);
+        assert_eq!(rsb.pop(), None);
+        assert_eq!(rsb.snapshot(), Vec::<u64>::new());
+        rsb.restore(Vec::new());
     }
 }

@@ -163,29 +163,37 @@ impl Cache {
         self.meta_fold(addr, size, true, |acc, b| acc & b)
     }
 
+    /// Folds `f` over the `size` metadata bits starting at `addr`.
+    ///
+    /// Iterates by an explicit *byte count* with wrapping address
+    /// arithmetic: addresses near `u64::MAX` are fuzzer-reachable, where
+    /// `addr + size` (or `line_addr + line_bytes`) overflows — and a
+    /// wrapping `[addr, addr+size)` range must visit exactly `size`
+    /// bytes (wrapping through 0), not walk until the cursor happens to
+    /// equal the wrapped end.
     fn meta_fold(&self, addr: u64, size: u64, init: bool, f: impl Fn(bool, bool) -> bool) -> bool {
         let mut acc = init;
         let mut a = addr;
-        let end = addr.wrapping_add(size);
-        while a != end {
+        let mut remaining = size;
+        while remaining > 0 {
             let la = self.line_addr(a);
+            let offset = a - la;
+            let chunk = (self.cfg.line_bytes as u64 - offset).min(remaining);
             let set = &self.sets[self.set_index(a)];
-            let line = set.iter().find(|l| l.tag == Some(la));
-            let line_end = la + self.cfg.line_bytes as u64;
-            let chunk_end = end.min(line_end).max(a + 1);
-            match line {
+            match set.iter().find(|l| l.tag == Some(la)) {
                 Some(line) => {
-                    for b in a..chunk_end {
-                        acc = f(acc, line.meta[(b - la) as usize]);
+                    for i in 0..chunk {
+                        acc = f(acc, line.meta[(offset + i) as usize]);
                     }
                 }
                 None => {
-                    for _ in a..chunk_end {
+                    for _ in 0..chunk {
                         acc = f(acc, self.meta_fill);
                     }
                 }
             }
-            a = chunk_end;
+            a = a.wrapping_add(chunk);
+            remaining -= chunk;
         }
         acc
     }
@@ -194,20 +202,22 @@ impl Cache {
     /// `value` (non-resident bytes are untouched: the cache has forgotten
     /// them).
     pub fn meta_set(&mut self, addr: u64, size: u64, value: bool) {
+        // Byte-count bound + wrapping cursor, as in `meta_fold`.
         let line_bytes = self.cfg.line_bytes as u64;
         let mut a = addr;
-        let end = addr.wrapping_add(size);
-        while a != end {
+        let mut remaining = size;
+        while remaining > 0 {
             let la = self.line_addr(a);
+            let offset = a - la;
+            let chunk = (line_bytes - offset).min(remaining);
             let set_idx = self.set_index(a);
-            let line_end = la + line_bytes;
-            let chunk_end = end.min(line_end).max(a + 1);
             if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.tag == Some(la)) {
-                for b in a..chunk_end {
-                    line.meta[(b - la) as usize] = value;
+                for i in 0..chunk {
+                    line.meta[(offset + i) as usize] = value;
                 }
             }
-            a = chunk_end;
+            a = a.wrapping_add(chunk);
+            remaining -= chunk;
         }
     }
 
@@ -327,6 +337,43 @@ mod tests {
         let mut c = tiny();
         c.access(0x000);
         assert_eq!(a.tag_observation(), c.tag_observation());
+    }
+
+    #[test]
+    fn meta_ops_near_u64_max_do_not_overflow() {
+        // Regression: `line_end = line_addr + line_bytes` overflowed for
+        // addresses on the last line of the address space (panic under
+        // debug overflow checks). The addresses are fuzzer-reachable.
+        let mut c = tiny();
+        let addr = u64::MAX - 3;
+        c.access(addr);
+        assert!(c.meta_any(addr, 4));
+        c.meta_set(addr, 4, false);
+        assert!(!c.meta_any(addr, 4));
+        assert!(!c.meta_all(u64::MAX, 1));
+    }
+
+    #[test]
+    fn meta_ops_wrapping_range_visits_size_bytes() {
+        // Regression: a range wrapping past u64::MAX must visit exactly
+        // `size` bytes (through 0), not degenerate into a ~2^64-byte
+        // walk. 8 bytes starting at MAX-3: 4 on the last line, 4 on line
+        // 0.
+        let mut c = tiny();
+        let addr = u64::MAX - 3;
+        c.access(addr);
+        c.access(0);
+        c.meta_set(addr, 8, false);
+        assert!(!c.meta_any(addr, 8));
+        assert!(!c.meta_any(0, 4));
+        assert!(c.meta_any(0, 5)); // 5th byte of line 0 untouched
+                                   // Unprotect only the wrapped-to half; the high half stays set.
+        let mut c2 = tiny();
+        c2.access(addr);
+        c2.access(0);
+        c2.meta_set(0, 4, false);
+        assert!(c2.meta_any(addr, 8));
+        assert!(!c2.meta_all(addr, 8));
     }
 
     #[test]

@@ -99,6 +99,10 @@ pub struct CoreConfig {
     pub speculation: SpeculationModel,
     /// ProtISA memory-protection tracking variant (§IX-A3).
     pub mem_prot: MemProtTracking,
+    /// Record a per-µop pipeline trace and defense-decision audit log
+    /// (see `crate::trace`). Off by default; the `PROTEAN_TRACE`
+    /// environment variable (set to anything but `0`) also enables it.
+    pub trace: bool,
 }
 
 impl CoreConfig {
@@ -148,6 +152,7 @@ impl CoreConfig {
             mem_latency: 200,
             speculation: SpeculationModel::AtCommit,
             mem_prot: MemProtTracking::TaggedL1d,
+            trace: false,
         }
     }
 
@@ -199,6 +204,7 @@ impl CoreConfig {
             mem_latency: 200,
             speculation: SpeculationModel::AtCommit,
             mem_prot: MemProtTracking::TaggedL1d,
+            trace: false,
         }
     }
 
@@ -256,6 +262,7 @@ impl CoreConfig {
             mem_latency: 60,
             speculation: SpeculationModel::AtCommit,
             mem_prot: MemProtTracking::TaggedL1d,
+            trace: false,
         }
     }
 }

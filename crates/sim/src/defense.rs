@@ -88,6 +88,31 @@ impl SpecFrontier {
     }
 }
 
+/// The pipeline gate at which a [`DefensePolicy`] denied a µop — the
+/// three hook points whose denials are counted in
+/// `Stats::{exec,wakeup,resolve}_blocked_cycles` and attributed per-µop
+/// in the trace audit log.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BlockPoint {
+    /// [`DefensePolicy::may_execute`] returned `false`.
+    Execute = 0,
+    /// [`DefensePolicy::may_wakeup`] returned `false`.
+    Wakeup = 1,
+    /// [`DefensePolicy::may_resolve`] returned `false`.
+    Resolve = 2,
+}
+
+impl BlockPoint {
+    /// Stable lowercase name (used in audit logs and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            BlockPoint::Execute => "execute",
+            BlockPoint::Wakeup => "wakeup",
+            BlockPoint::Resolve => "resolve",
+        }
+    }
+}
+
 /// Why a squash was initiated (statistics and the timing side channel).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum SquashKind {
@@ -165,6 +190,22 @@ pub trait DefensePolicy {
     /// transmitter of the predicate.)
     fn may_resolve(&self, _u: &DynInst, _tags: &RegTags, _fr: &SpecFrontier) -> bool {
         true
+    }
+
+    /// Names the rule under which this policy just denied `u` at
+    /// `point` — called by the tracer (only when tracing is enabled)
+    /// right after `may_execute`/`may_wakeup`/`may_resolve` returned
+    /// `false`, so the audit log can attribute blocked cycles to a
+    /// policy-specific rule. Must not allocate (return a `&'static
+    /// str`). The default is a generic label.
+    fn block_rule(
+        &self,
+        _u: &DynInst,
+        _point: BlockPoint,
+        _tags: &RegTags,
+        _fr: &SpecFrontier,
+    ) -> &'static str {
+        "blocked"
     }
 
     /// A load (or `ret`) received its data. `u.mem` carries the address,

@@ -42,17 +42,20 @@ mod bpred;
 mod cache;
 mod config;
 mod defense;
+pub mod json;
 mod multicore;
 mod pipeline;
 mod stats;
+pub mod trace;
 
 pub use bpred::{Btb, Rsb, TagePredictor};
 pub use cache::{AccessResult, Cache};
 pub use config::{CacheConfig, CoreConfig, MemProtTracking, SpeculationModel};
 pub use defense::{
-    propagate_tags, sensitive_phys, sensitive_root_tainted, sensitive_value_tainted, DefensePolicy,
-    RegTags, Seq, SpecFrontier, SquashKind, UnsafePolicy, NO_ROOT,
+    propagate_tags, sensitive_phys, sensitive_root_tainted, sensitive_value_tainted, BlockPoint,
+    DefensePolicy, RegTags, Seq, SpecFrontier, SquashKind, UnsafePolicy, NO_ROOT,
 };
 pub use multicore::{Multicore, MulticoreResult, Thread};
 pub use pipeline::{Core, DstInfo, DynInst, MemState, SimExit, SimResult, UopStatus};
 pub use stats::Stats;
+pub use trace::{AuditRecord, BlockedAt, SquashEvent, Trace, Tracer, UopTrace};

@@ -12,7 +12,8 @@
 //! The active [`DefensePolicy`] is consulted at every security-relevant
 //! point; the unsafe baseline is the policy that never blocks anything.
 
-use crate::defense::{DefensePolicy, RegTags, Seq, SpecFrontier, SquashKind, NO_ROOT};
+use crate::defense::{BlockPoint, DefensePolicy, RegTags, Seq, SpecFrontier, SquashKind, NO_ROOT};
+use crate::trace::{Trace, Tracer};
 use crate::{Btb, Rsb, TagePredictor};
 use crate::{Cache, CoreConfig, MemProtTracking, Stats};
 use protean_arch::{ArchState, Memory};
@@ -236,6 +237,10 @@ pub struct SimResult {
     /// worker dumps interleave on stderr; it is also printed to stderr
     /// directly when `PROTEAN_SIM_DEBUG=1`.
     pub deadlock_dump: Option<String>,
+    /// Per-µop pipeline trace and defense-decision audit log, recorded
+    /// when [`CoreConfig::trace`] or `PROTEAN_TRACE` is set (see
+    /// [`crate::trace`]). `None` when tracing is disabled.
+    pub trace: Option<Trace>,
 }
 
 /// One simulated out-of-order core.
@@ -285,6 +290,9 @@ pub struct Core<'a> {
     timing: Vec<[u64; 6]>,
     committed_idxs: Vec<u32>,
     record_traces: bool,
+    /// `Some` only when µop-level tracing is enabled ([`CoreConfig::trace`]
+    /// or `PROTEAN_TRACE`): every event site is one `Option` check when off.
+    tracer: Option<Box<Tracer>>,
     no_commit_cycles: u64,
 }
 
@@ -312,6 +320,8 @@ impl<'a> Core<'a> {
         let l2 = Cache::new(cfg.l2, true);
         let l3 = Cache::new(cfg.l3, true);
         let tags = RegTags::new(n_phys, Reg::COUNT);
+        let trace_on = cfg.trace || std::env::var("PROTEAN_TRACE").is_ok_and(|v| v.trim() != "0");
+        let tracer = trace_on.then(|| Box::new(Tracer::new(policy.name())));
         Core {
             fetch_idx: if program.is_empty() { None } else { Some(0) },
             fetch_queue: VecDeque::new(),
@@ -341,6 +351,7 @@ impl<'a> Core<'a> {
             timing: Vec::new(),
             committed_idxs: Vec::new(),
             record_traces: false,
+            tracer,
             cycle: 0,
             next_seq: 1,
             halted: None,
@@ -418,6 +429,7 @@ impl<'a> Core<'a> {
         let mut cache_obs = self.l1d.tag_observation();
         cache_obs.push(u64::MAX); // level separator
         cache_obs.extend(self.l2.tag_observation());
+        let trace = self.tracer.take().map(|t| t.finish(self.cycle));
         SimResult {
             exit: self.halted.unwrap(),
             stats,
@@ -427,6 +439,7 @@ impl<'a> Core<'a> {
             final_regs: self.committed_regs,
             final_reg_prot: self.prot_map,
             deadlock_dump,
+            trace,
         }
     }
 
@@ -483,6 +496,19 @@ impl<'a> Core<'a> {
         }
     }
 
+    /// Records a defense denial of the µop at ROB index `i` in the trace
+    /// (no-op when tracing is off — one branch, no allocation).
+    fn trace_block(&mut self, i: usize, point: BlockPoint, fr: &SpecFrontier) {
+        if self.tracer.is_some() {
+            let u = &self.rob[i];
+            let rule = self.policy.block_rule(u, point, &self.tags, fr);
+            let (seq, cycle) = (u.seq, self.cycle);
+            if let Some(t) = self.tracer.as_mut() {
+                t.on_block(seq, point, cycle, rule);
+            }
+        }
+    }
+
     /// One cycle.
     fn tick(&mut self) {
         self.complete_and_wakeup();
@@ -517,10 +543,14 @@ impl<'a> Core<'a> {
                     } else {
                         UopStatus::Done
                     };
+                    let seq = u.seq;
                     // Write results to the PRF.
                     for d in &u.dsts {
                         self.prf_value[d.new_phys] = d.value;
                         self.prf_done[d.new_phys] = true;
+                    }
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.on_complete(seq, cycle);
                     }
                 }
             }
@@ -534,6 +564,16 @@ impl<'a> Core<'a> {
                     }
                 } else {
                     self.stats.wakeup_blocked_cycles += 1;
+                    if self.tracer.is_some() {
+                        let u = &self.rob[i];
+                        let rule = self
+                            .policy
+                            .block_rule(u, BlockPoint::Wakeup, &self.tags, &fr);
+                        let seq = u.seq;
+                        if let Some(t) = self.tracer.as_mut() {
+                            t.on_block(seq, BlockPoint::Wakeup, cycle, rule);
+                        }
+                    }
                     if std::env::var_os("PROTEAN_DEBUG_BLOCKED").is_some() {
                         let u = &self.rob[i];
                         eprintln!(
@@ -621,6 +661,7 @@ impl<'a> Core<'a> {
                     chosen = Some(i);
                 } else {
                     self.stats.resolve_blocked_cycles += 1;
+                    self.trace_block(i, BlockPoint::Resolve, &fr);
                 }
                 break;
             }
@@ -629,6 +670,7 @@ impl<'a> Core<'a> {
                 break;
             }
             self.stats.resolve_blocked_cycles += 1;
+            self.trace_block(i, BlockPoint::Resolve, &fr);
             // Fixed arbiter: keep scanning for a younger resolvable one.
         }
         if let Some(i) = chosen {
@@ -651,7 +693,7 @@ impl<'a> Core<'a> {
             )
         };
         self.stats.branch_squashes += 1;
-        self.squash_younger_than(seq);
+        self.squash_younger_than(seq, SquashKind::Branch);
         // Restore the front end to the branch's pre-fetch state, then
         // re-apply its *actual* effect.
         self.tage.restore_history(hist);
@@ -673,14 +715,17 @@ impl<'a> Core<'a> {
     }
 
     /// Squashes every µop with `seq > surviving`, restoring the rename
-    /// map and protection map.
-    fn squash_younger_than(&mut self, surviving: Seq) {
+    /// map and protection map. `kind` tags the squash-cause in the trace.
+    fn squash_younger_than(&mut self, surviving: Seq, kind: SquashKind) {
         while let Some(u) = self.rob.back() {
             if u.seq <= surviving {
                 break;
             }
             let u = self.rob.pop_back().expect("checked non-empty");
             self.stats.squashed += 1;
+            if let Some(t) = self.tracer.as_mut() {
+                t.on_squash(u.seq, self.cycle, kind);
+            }
             if u.is_load() {
                 self.lq_used -= 1;
             }
@@ -714,7 +759,7 @@ impl<'a> Core<'a> {
                     .front()
                     .map(|f| (f.hist_snapshot, f.rsb_snapshot.clone()))
             });
-        self.squash_younger_than(surviving);
+        self.squash_younger_than(surviving, kind);
         if let Some((h, r)) = snap {
             self.tage.restore_history(h);
             self.rsb.restore(r);
@@ -747,6 +792,9 @@ impl<'a> Core<'a> {
             let u = self.rob.pop_front().expect("head exists");
             self.no_commit_cycles = 0;
             self.stats.committed += 1;
+            if let Some(t) = self.tracer.as_mut() {
+                t.on_commit(u.seq, self.cycle);
+            }
             if u.is_load() {
                 self.lq_used -= 1;
                 self.stats.loads += 1;
@@ -947,6 +995,7 @@ impl<'a> Core<'a> {
             // Defense gate.
             if !self.policy.may_execute(&self.rob[i], &self.tags, &fr) {
                 self.stats.exec_blocked_cycles += 1;
+                self.trace_block(i, BlockPoint::Execute, &fr);
                 if std::env::var_os("PROTEAN_DEBUG_BLOCKED").is_some() {
                     let u = &self.rob[i];
                     eprintln!(
@@ -963,6 +1012,12 @@ impl<'a> Core<'a> {
                     mem_slots -= 1;
                 } else {
                     alu_slots -= 1;
+                }
+                if self.tracer.is_some() {
+                    let (seq, cycle) = (self.rob[i].seq, self.cycle);
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.on_issue(seq, cycle);
+                    }
                 }
             }
         }
@@ -1126,9 +1181,11 @@ impl<'a> Core<'a> {
             }
             let Some(m) = &s.mem else { continue };
             let Some(s_addr) = m.addr else { continue }; // unknown addr: speculate past
-            let s_end = s_addr + m.size;
-            let l_end = addr + size;
-            if s_end <= addr || l_end <= s_addr {
+                                                         // Widen to u128: fuzzer-generated addresses reach u64::MAX,
+                                                         // where `addr + size` overflows under debug overflow checks.
+            let s_end = s_addr as u128 + m.size as u128;
+            let l_end = addr as u128 + size as u128;
+            if s_end <= addr as u128 || l_end <= s_addr as u128 {
                 continue; // no overlap
             }
             // Overlap with the youngest older store.
@@ -1223,9 +1280,10 @@ impl<'a> Core<'a> {
             }
             let Some(m) = &l.mem else { continue };
             let Some(l_addr) = m.addr else { continue };
-            let l_end = l_addr + m.size;
-            let s_end = addr + size;
-            if s_end <= l_addr || l_end <= addr {
+            // u128 as in `execute_load`: no overflow near u64::MAX.
+            let l_end = l_addr as u128 + m.size as u128;
+            let s_end = addr as u128 + size as u128;
+            if s_end <= l_addr as u128 || l_end <= addr as u128 {
                 continue;
             }
             if let Some(f) = m.fwd_from {
@@ -1383,6 +1441,9 @@ impl<'a> Core<'a> {
                 complete_cycle: 0,
             };
             self.policy.on_rename(&mut u, &mut self.tags);
+            if let Some(t) = self.tracer.as_mut() {
+                t.on_rename(&u, self.cycle);
+            }
             // Nop/Halt and direct jumps execute trivially.
             self.rob.push_back(u);
             self.stats.fetched += 1;

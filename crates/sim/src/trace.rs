@@ -1,0 +1,542 @@
+//! µop-level pipeline tracing and the defense-decision audit log.
+//!
+//! When tracing is enabled (via [`crate::CoreConfig::trace`] or the
+//! `PROTEAN_TRACE` environment variable), the core records one
+//! [`UopTrace`] per renamed µop — its fetch/rename/issue/complete/commit
+//! cycles, any squash event tagged with its cause, and, per defense gate
+//! ([`BlockPoint`]), how many cycles the active [`DefensePolicy`] held
+//! it back and under which rule. The full stream is exported as
+//! [`SimResult::trace`](crate::SimResult) and renderable as:
+//!
+//! * a Konata-style text pipeline diagram ([`Trace::render_pipeline`]);
+//! * a defense-decision audit log ([`Trace::audit`],
+//!   [`Trace::render_audit`]) whose per-gate totals reconcile *exactly*
+//!   with `Stats::{exec,wakeup,resolve}_blocked_cycles`;
+//! * Chrome `chrome://tracing` / Perfetto trace-event JSON
+//!   ([`Trace::to_chrome_trace`]), hand-rolled via [`crate::json`].
+//!
+//! Tracing is **observation-only**: enabling it never changes a single
+//! architectural or microarchitectural decision (test-asserted), and
+//! with tracing disabled the hot path performs one `Option` check per
+//! event site and allocates nothing.
+//!
+//! [`DefensePolicy`]: crate::DefensePolicy
+
+use crate::defense::{BlockPoint, Seq, SquashKind};
+use crate::json::Json;
+use crate::pipeline::DynInst;
+
+/// Default cap on recorded µops (`PROTEAN_TRACE_LIMIT` overrides):
+/// bounds trace memory on long runs; blocked-cycle *totals* keep
+/// accumulating past the cap so audit reconciliation stays exact.
+pub const DEFAULT_TRACE_LIMIT: usize = 1_000_000;
+
+/// A squash observed on a µop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SquashEvent {
+    /// Cycle the squash reached this µop.
+    pub cycle: u64,
+    /// Why the squash was initiated.
+    pub cause: SquashKind,
+}
+
+/// Accumulated defense blocking of one µop at one gate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BlockedAt {
+    /// Number of cycles the gate denied this µop.
+    pub cycles: u64,
+    /// First cycle a denial was observed.
+    pub first_cycle: u64,
+    /// Last cycle a denial was observed.
+    pub last_cycle: u64,
+    /// The policy rule that denied (from
+    /// [`crate::DefensePolicy::block_rule`]); `""` if never blocked.
+    pub rule: &'static str,
+}
+
+/// One µop's recorded lifecycle.
+#[derive(Clone, Debug)]
+pub struct UopTrace {
+    /// Global sequence number (1-based age order).
+    pub seq: Seq,
+    /// Static instruction index.
+    pub idx: u32,
+    /// Program counter.
+    pub pc: u64,
+    /// Disassembly of the instruction.
+    pub disasm: String,
+    /// Cycle the µop was fetched.
+    pub fetch_cycle: u64,
+    /// Cycle the µop was renamed into the ROB.
+    pub rename_cycle: u64,
+    /// Cycle the µop issued to execution (`None`: never issued).
+    pub issue_cycle: Option<u64>,
+    /// Cycle execution completed (`None`: never completed).
+    pub complete_cycle: Option<u64>,
+    /// Cycle the µop committed (`None`: squashed or still in flight).
+    pub commit_cycle: Option<u64>,
+    /// The squash that killed it, if any.
+    pub squash: Option<SquashEvent>,
+    /// Defense blocking per gate, indexed by [`BlockPoint`].
+    pub blocked: [BlockedAt; 3],
+}
+
+impl UopTrace {
+    /// Total cycles the defense held this µop across all gates.
+    pub fn blocked_cycles(&self) -> u64 {
+        self.blocked.iter().map(|b| b.cycles).sum()
+    }
+}
+
+/// One row of the defense-decision audit log: a µop that a policy rule
+/// held at a gate, with the cycle span and cost.
+#[derive(Clone, Debug)]
+pub struct AuditRecord {
+    /// The blocked µop's sequence number.
+    pub seq: Seq,
+    /// Its static instruction index.
+    pub idx: u32,
+    /// Its program counter.
+    pub pc: u64,
+    /// Its disassembly.
+    pub disasm: String,
+    /// The gate that denied it.
+    pub point: BlockPoint,
+    /// The policy rule that denied it.
+    pub rule: &'static str,
+    /// Total cycles denied.
+    pub cycles: u64,
+    /// First denial cycle.
+    pub first_cycle: u64,
+    /// Last denial cycle.
+    pub last_cycle: u64,
+    /// Whether the µop eventually committed (`false`: squashed /
+    /// in-flight at exit — blocked cycles on wrong-path work).
+    pub committed: bool,
+}
+
+/// The in-flight recorder owned by the core while tracing is enabled.
+///
+/// Event methods are O(1) per event; µops are stored in a flat `Vec`
+/// indexed by `seq - 1` (sequence numbers are allocated densely at
+/// rename).
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    policy: String,
+    uops: Vec<UopTrace>,
+    limit: usize,
+    /// µops not recorded because the cap was reached.
+    dropped: u64,
+    /// Blocked cycles attributed to dropped µops, per gate — keeps
+    /// [`Trace::blocked_totals`] exact regardless of the cap.
+    overflow_blocked: [u64; 3],
+}
+
+impl Tracer {
+    /// Creates a tracer for a run under `policy`. The recorded-µop cap
+    /// comes from `PROTEAN_TRACE_LIMIT` (default
+    /// [`DEFAULT_TRACE_LIMIT`]).
+    pub fn new(policy: String) -> Tracer {
+        let limit = std::env::var("PROTEAN_TRACE_LIMIT")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_TRACE_LIMIT);
+        Tracer {
+            policy,
+            uops: Vec::new(),
+            limit: limit.max(1),
+            dropped: 0,
+            overflow_blocked: [0; 3],
+        }
+    }
+
+    fn slot(&mut self, seq: Seq) -> Option<&mut UopTrace> {
+        let index = (seq - 1) as usize;
+        self.uops.get_mut(index)
+    }
+
+    /// A µop entered the ROB. Must be called in `seq` order (the
+    /// pipeline renames in age order).
+    pub fn on_rename(&mut self, u: &DynInst, cycle: u64) {
+        if self.uops.len() >= self.limit {
+            self.dropped += 1;
+            return;
+        }
+        debug_assert_eq!(self.uops.len() as u64 + 1, u.seq, "rename out of seq order");
+        self.uops.push(UopTrace {
+            seq: u.seq,
+            idx: u.idx,
+            pc: u.pc,
+            disasm: u.inst.to_string(),
+            fetch_cycle: u.fetch_cycle,
+            rename_cycle: cycle,
+            issue_cycle: None,
+            complete_cycle: None,
+            commit_cycle: None,
+            squash: None,
+            blocked: [BlockedAt::default(); 3],
+        });
+    }
+
+    /// A µop issued to execution.
+    pub fn on_issue(&mut self, seq: Seq, cycle: u64) {
+        if let Some(t) = self.slot(seq) {
+            t.issue_cycle = Some(cycle);
+        }
+    }
+
+    /// A µop finished execution.
+    pub fn on_complete(&mut self, seq: Seq, cycle: u64) {
+        if let Some(t) = self.slot(seq) {
+            t.complete_cycle = Some(cycle);
+        }
+    }
+
+    /// A µop committed.
+    pub fn on_commit(&mut self, seq: Seq, cycle: u64) {
+        if let Some(t) = self.slot(seq) {
+            t.commit_cycle = Some(cycle);
+        }
+    }
+
+    /// A µop was squashed.
+    pub fn on_squash(&mut self, seq: Seq, cycle: u64, cause: SquashKind) {
+        if let Some(t) = self.slot(seq) {
+            t.squash = Some(SquashEvent { cycle, cause });
+        }
+    }
+
+    /// The defense denied a µop at `point` this cycle under `rule`.
+    pub fn on_block(&mut self, seq: Seq, point: BlockPoint, cycle: u64, rule: &'static str) {
+        match self.slot(seq) {
+            Some(t) => {
+                let b = &mut t.blocked[point as usize];
+                if b.cycles == 0 {
+                    b.first_cycle = cycle;
+                    b.rule = rule;
+                }
+                b.cycles += 1;
+                b.last_cycle = cycle;
+            }
+            None => self.overflow_blocked[point as usize] += 1,
+        }
+    }
+
+    /// Seals the recording into an immutable [`Trace`].
+    pub fn finish(self, cycles: u64) -> Trace {
+        Trace {
+            policy: self.policy,
+            uops: self.uops,
+            dropped: self.dropped,
+            overflow_blocked: self.overflow_blocked,
+            cycles,
+        }
+    }
+}
+
+/// A sealed pipeline trace, exported from
+/// [`SimResult::trace`](crate::SimResult).
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Name of the defense policy the run used.
+    pub policy: String,
+    /// Per-µop lifecycle records, in `seq` order.
+    pub uops: Vec<UopTrace>,
+    /// µops beyond the `PROTEAN_TRACE_LIMIT` cap (not recorded).
+    pub dropped: u64,
+    /// Blocked cycles attributed to dropped µops, per gate.
+    pub overflow_blocked: [u64; 3],
+    /// Total cycles of the run.
+    pub cycles: u64,
+}
+
+impl Trace {
+    /// Total defense-blocked cycles per gate, **including** µops past
+    /// the recording cap — reconciles exactly with
+    /// `Stats::{exec,wakeup,resolve}_blocked_cycles`.
+    pub fn blocked_totals(&self) -> [u64; 3] {
+        let mut totals = self.overflow_blocked;
+        for u in &self.uops {
+            for (t, b) in totals.iter_mut().zip(&u.blocked) {
+                *t += b.cycles;
+            }
+        }
+        totals
+    }
+
+    /// The defense-decision audit log: one record per (µop, gate) the
+    /// policy denied at least once, in µop age order.
+    pub fn audit(&self) -> Vec<AuditRecord> {
+        let mut out = Vec::new();
+        for u in &self.uops {
+            for point in [BlockPoint::Execute, BlockPoint::Wakeup, BlockPoint::Resolve] {
+                let b = &u.blocked[point as usize];
+                if b.cycles == 0 {
+                    continue;
+                }
+                out.push(AuditRecord {
+                    seq: u.seq,
+                    idx: u.idx,
+                    pc: u.pc,
+                    disasm: u.disasm.clone(),
+                    point,
+                    rule: b.rule,
+                    cycles: b.cycles,
+                    first_cycle: b.first_cycle,
+                    last_cycle: b.last_cycle,
+                    committed: u.commit_cycle.is_some(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Blocked cycles aggregated per `(gate, rule)`, ordered by first
+    /// appearance — the per-rule cost breakdown.
+    pub fn blocked_by_rule(&self) -> Vec<(BlockPoint, &'static str, u64)> {
+        let mut out: Vec<(BlockPoint, &'static str, u64)> = Vec::new();
+        for u in &self.uops {
+            for point in [BlockPoint::Execute, BlockPoint::Wakeup, BlockPoint::Resolve] {
+                let b = &u.blocked[point as usize];
+                if b.cycles == 0 {
+                    continue;
+                }
+                match out.iter_mut().find(|(p, r, _)| *p == point && *r == b.rule) {
+                    Some((_, _, c)) => *c += b.cycles,
+                    None => out.push((point, b.rule, b.cycles)),
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the defense-decision audit log as text (at most
+    /// `max_records` rows, plus a per-rule summary and exact totals).
+    pub fn render_audit(&self, max_records: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let totals = self.blocked_totals();
+        let _ = writeln!(
+            out,
+            "defense audit: policy={} exec_blocked={} wakeup_blocked={} resolve_blocked={}",
+            self.policy, totals[0], totals[1], totals[2]
+        );
+        for (point, rule, cycles) in self.blocked_by_rule() {
+            let _ = writeln!(out, "  rule {}/{rule}: {cycles} cycles", point.name());
+        }
+        let audit = self.audit();
+        for rec in audit.iter().take(max_records) {
+            let _ = writeln!(
+                out,
+                "  seq={} idx={} pc={:#x} {} <{}> held {} cycles @{}..{} by {} ({})",
+                rec.seq,
+                rec.idx,
+                rec.pc,
+                rec.disasm,
+                rec.point.name(),
+                rec.cycles,
+                rec.first_cycle,
+                rec.last_cycle,
+                rec.rule,
+                if rec.committed {
+                    "committed"
+                } else {
+                    "squashed"
+                },
+            );
+        }
+        if audit.len() > max_records {
+            let _ = writeln!(out, "  ... {} more records", audit.len() - max_records);
+        }
+        out
+    }
+
+    /// Renders a Konata-style text pipeline diagram of the **last**
+    /// `max_uops` recorded µops (the window that usually contains the
+    /// behaviour of interest), at most `width` timeline columns.
+    ///
+    /// Lane characters: `f` frontend (fetch→rename), `.` waiting in the
+    /// ROB, `E` executing, `-` complete but not committed, `C` commit,
+    /// `X` squash; a trailing `+` marks truncation at `width`. Blocked
+    /// µops carry a `[gate:rule xN]` annotation.
+    pub fn render_pipeline(&self, max_uops: usize, width: usize) -> String {
+        use std::fmt::Write;
+        let width = width.max(8);
+        let window = &self.uops[self.uops.len().saturating_sub(max_uops)..];
+        let Some(origin) = window.iter().map(|u| u.fetch_cycle).min() else {
+            return String::from("(empty trace)\n");
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pipeline trace: policy={} ({} uops shown of {}, cycle origin {})",
+            self.policy,
+            window.len(),
+            self.uops.len(),
+            origin
+        );
+        for u in window {
+            let end_cycle = u
+                .commit_cycle
+                .or(u.squash.map(|s| s.cycle))
+                .or(u.complete_cycle)
+                .unwrap_or(u.rename_cycle);
+            let mut lane = String::new();
+            let start = (u.fetch_cycle - origin) as usize;
+            let mut truncated = false;
+            for _ in 0..start.min(width) {
+                lane.push(' ');
+            }
+            let mut col = start;
+            let mut push = |c: char, lane: &mut String| {
+                if col < width {
+                    lane.push(c);
+                } else {
+                    truncated = true;
+                }
+                col += 1;
+            };
+            for cycle in u.fetch_cycle..=end_cycle {
+                let c = if cycle < u.rename_cycle {
+                    'f'
+                } else if Some(cycle) == u.commit_cycle {
+                    'C'
+                } else if u.squash.is_some_and(|s| s.cycle == cycle) {
+                    'X'
+                } else if u.issue_cycle.is_some_and(|i| cycle >= i)
+                    && u.complete_cycle.is_none_or(|d| cycle < d)
+                {
+                    'E'
+                } else if u.complete_cycle.is_some_and(|d| cycle >= d) {
+                    '-'
+                } else {
+                    '.'
+                };
+                push(c, &mut lane);
+            }
+            if truncated {
+                lane.truncate(width);
+                lane.push('+');
+            }
+            let mut note = String::new();
+            for point in [BlockPoint::Execute, BlockPoint::Wakeup, BlockPoint::Resolve] {
+                let b = &u.blocked[point as usize];
+                if b.cycles > 0 {
+                    let _ = write!(note, " [{}:{} x{}]", point.name(), b.rule, b.cycles);
+                }
+            }
+            if let Some(s) = u.squash {
+                let _ = write!(note, " [squash:{}]", squash_name(s.cause));
+            }
+            let _ = writeln!(
+                out,
+                "{:>6} {:#08x} {:<24} |{lane}|{note}",
+                u.seq, u.pc, u.disasm
+            );
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "({} uops dropped past PROTEAN_TRACE_LIMIT)",
+                self.dropped
+            );
+        }
+        out
+    }
+
+    /// Serializes the trace as Chrome `chrome://tracing` / Perfetto
+    /// trace-event JSON. Cycles are mapped to microseconds (1 cycle =
+    /// 1 µs). Each µop emits one complete (`"ph":"X"`) event per
+    /// pipeline segment; squashes become instant events; defense blocks
+    /// become complete events on the `defense` thread lane.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events = Vec::new();
+        for u in &self.uops {
+            let lane = 1 + (u.seq - 1) % 64; // compact row reuse
+            let mut span = |name: &str, start: u64, end: u64| {
+                events.push(Json::obj([
+                    ("name", Json::str(format!("{name} {}", u.disasm))),
+                    ("cat", Json::str(name.to_string())),
+                    ("ph", Json::str("X")),
+                    ("ts", Json::U64(start)),
+                    ("dur", Json::U64(end.saturating_sub(start).max(1))),
+                    ("pid", Json::U64(0)),
+                    ("tid", Json::U64(lane)),
+                    (
+                        "args",
+                        Json::obj([
+                            ("seq", Json::U64(u.seq)),
+                            ("idx", Json::U64(u.idx as u64)),
+                            ("pc", Json::str(format!("{:#x}", u.pc))),
+                        ]),
+                    ),
+                ]));
+            };
+            span("frontend", u.fetch_cycle, u.rename_cycle);
+            if let Some(issue) = u.issue_cycle {
+                span("queue", u.rename_cycle, issue);
+                span("execute", issue, u.complete_cycle.unwrap_or(issue + 1));
+            }
+            if let (Some(done), Some(commit)) = (u.complete_cycle, u.commit_cycle) {
+                span("commit-wait", done, commit);
+            }
+            if let Some(s) = u.squash {
+                events.push(Json::obj([
+                    (
+                        "name",
+                        Json::str(format!("squash:{}", squash_name(s.cause))),
+                    ),
+                    ("cat", Json::str("squash")),
+                    ("ph", Json::str("i")),
+                    ("s", Json::str("t")),
+                    ("ts", Json::U64(s.cycle)),
+                    ("pid", Json::U64(0)),
+                    ("tid", Json::U64(lane)),
+                ]));
+            }
+        }
+        for rec in self.audit() {
+            events.push(Json::obj([
+                (
+                    "name",
+                    Json::str(format!("{}:{}", rec.point.name(), rec.rule)),
+                ),
+                ("cat", Json::str("defense")),
+                ("ph", Json::str("X")),
+                ("ts", Json::U64(rec.first_cycle)),
+                ("dur", Json::U64(rec.last_cycle - rec.first_cycle + 1)),
+                ("pid", Json::U64(0)),
+                ("tid", Json::U64(0)),
+                (
+                    "args",
+                    Json::obj([
+                        ("seq", Json::U64(rec.seq)),
+                        ("uop", Json::str(rec.disasm.clone())),
+                        ("cycles", Json::U64(rec.cycles)),
+                    ]),
+                ),
+            ]));
+        }
+        Json::obj([
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::str("ms")),
+            (
+                "otherData",
+                Json::obj([
+                    ("policy", Json::str(self.policy.clone())),
+                    ("cycles", Json::U64(self.cycles)),
+                    ("dropped_uops", Json::U64(self.dropped)),
+                ]),
+            ),
+        ])
+        .render_pretty()
+    }
+}
+
+fn squash_name(kind: SquashKind) -> &'static str {
+    match kind {
+        SquashKind::Branch => "branch",
+        SquashKind::MemOrder => "memory-order",
+        SquashKind::DivFault => "div-fault",
+    }
+}

@@ -46,6 +46,14 @@ fn main() {
                 v.program_seed, v.input_index, v.false_positive
             );
         }
+        // Every counterexample carries the leaking run's pipeline trace
+        // and defense audit log — show the first one's.
+        if let Some(trace) = report.examples.iter().find_map(|v| v.trace.as_deref()) {
+            println!("\n  leaking run of the first counterexample:");
+            for line in trace.lines() {
+                println!("    {line}");
+            }
+        }
     }
     println!(
         "\nExpected: the unsafe core and `stt-original` (divider channel) show\n\
