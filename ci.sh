@@ -31,13 +31,26 @@ echo "== cargo test -q --offline --workspace (debug profile)"
 # cache metadata folds) only surface in this configuration.
 cargo test -q --offline --workspace
 
-echo "== bench JSON smoke (ablation_fixes --quick + validate_json)"
-# One bench binary end to end: write its JSON report to a scratch dir,
-# then check it against the schema shared by all table/figure reports.
+echo "== golden scheduler equivalence (release + debug)"
+# The event-driven scheduler must be observationally identical to the
+# scan-based core it replaced; the fixture was generated from the
+# pre-scheduler code. Run it explicitly in both profiles so a fixture
+# drift is named in CI output rather than buried in the workspace runs,
+# and so the debug profile's assertions cover the scheduler paths.
+cargo test -q --release --offline -p protean-bench --test golden_scheduler
+cargo test -q --offline -p protean-bench --test golden_scheduler
+
+echo "== bench JSON smoke (ablation_fixes --quick + perf_smoke + validate_json)"
+# Two bench binaries end to end: write their JSON reports to a scratch
+# dir, then check them against the schema shared by all reports.
+# perf_smoke also exercises the idle-cycle fast-forward path under the
+# real bench corpus (its committed/cycles columns are deterministic).
 BENCH_SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$BENCH_SMOKE_DIR"' EXIT
 PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" \
     cargo run -q --release --offline -p protean-bench --bin ablation_fixes -- --quick >/dev/null
+PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" PROTEAN_BENCH_SAMPLES=1 PROTEAN_BENCH_WARMUP=0 \
+    cargo run -q --release --offline -p protean-bench --bin perf_smoke >/dev/null
 PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" \
     cargo run -q --release --offline -p protean-bench --bin validate_json
 

@@ -1,0 +1,103 @@
+//! `perf_smoke`: simulator-throughput smoke benchmark (record-only).
+//!
+//! Runs a fixed seed corpus of amulet-generated programs through the
+//! unprotected core, ProtDelay, and ProtTrack, and reports simulator
+//! throughput in **kilo-µops-committed per wall-second** to
+//! `bench_results/perf_smoke.json`. There is no pass/fail gate — the
+//! point is to accumulate a perf trajectory across commits so scheduler
+//! regressions show up in the JSON history.
+//!
+//! ```text
+//! cargo run --release -p protean-bench --bin perf_smoke
+//! ```
+//!
+//! `PROTEAN_BENCH_SAMPLES` / `PROTEAN_BENCH_WARMUP` tune the sample
+//! counts like every other harness user; wall-clock numbers are
+//! machine-dependent by nature, so this JSON is exempt from the
+//! byte-identical-across-runs contract the table/figure reports obey.
+
+use protean_amulet::{generate, init_cold_chain, GenConfig, PUBLIC_BASE, PUBLIC_SIZE};
+use protean_arch::ArchState;
+use protean_bench::harness::Bench;
+use protean_bench::report::BenchReport;
+use protean_bench::Defense;
+use protean_isa::{Program, Reg};
+use protean_sim::json::Json;
+use protean_sim::{Core, CoreConfig, SimExit};
+
+/// Committed-instruction budget per corpus program.
+const MAX_INSTS: u64 = 200_000;
+/// Cycle budget per corpus program.
+const MAX_CYCLES: u64 = 20_000_000;
+
+/// The fixed corpus: a spread of program shapes large enough that one
+/// sweep commits a few hundred thousand µops per defense.
+fn corpus() -> Vec<(Program, ArchState)> {
+    (0u64..8)
+        .map(|i| {
+            let cfg = GenConfig {
+                segments: 24,
+                gadget_bias: 0.5,
+                seed: 100 + i,
+            };
+            let mut state = ArchState::new();
+            init_cold_chain(&mut state.mem);
+            for j in 0u64..PUBLIC_SIZE / 8 {
+                state
+                    .mem
+                    .write(PUBLIC_BASE + j * 8, 8, (i * 17 + j * 7) % 64);
+            }
+            for r in 0..6 {
+                state.set_reg(Reg::gpr(r), (i * 31 + r as u64 * 13) % 1024);
+            }
+            (generate(&cfg), state)
+        })
+        .collect()
+}
+
+/// One full sweep of the corpus under `defense`; returns (cycles,
+/// committed) summed over the corpus.
+fn sweep(corpus: &[(Program, ArchState)], defense: Defense) -> (u64, u64) {
+    let mut cycles = 0;
+    let mut committed = 0;
+    for (program, input) in corpus {
+        let core = Core::new(program, CoreConfig::e_core(), defense.make(), input);
+        let r = core.run(MAX_INSTS, MAX_CYCLES);
+        assert_eq!(r.exit, SimExit::Halted, "perf_smoke corpus must halt");
+        cycles += r.stats.cycles;
+        committed += r.stats.committed;
+    }
+    (cycles, committed)
+}
+
+fn main() {
+    println!("perf_smoke: simulator throughput (record-only)");
+    println!("==============================================\n");
+
+    let corpus = corpus();
+    let bench = Bench::new("perf_smoke");
+    let mut report = BenchReport::new("perf_smoke");
+
+    for defense in [Defense::Unsafe, Defense::ProtDelay, Defense::ProtTrack] {
+        let label = format!("{defense:?}");
+        let (cycles, committed) = sweep(&corpus, defense);
+        let stats = bench.run(&label, || sweep(&corpus, defense));
+        let secs = stats.median.as_secs_f64();
+        let kuops_per_s = committed as f64 / secs / 1e3;
+        let sim_mcycles_per_s = cycles as f64 / secs / 1e6;
+        println!(
+            "  {label:<10} {committed:>9} µops {cycles:>10} cycles  \
+             {kuops_per_s:>9.1} kuops/s  {sim_mcycles_per_s:>7.2} Mcycles/s"
+        );
+        report.row(vec![
+            ("defense", Json::str(label)),
+            ("committed", Json::U64(committed)),
+            ("cycles", Json::U64(cycles)),
+            ("wall_ms_median", Json::F64(secs * 1e3)),
+            ("kuops_per_s", Json::F64(kuops_per_s)),
+            ("sim_mcycles_per_s", Json::F64(sim_mcycles_per_s)),
+        ]);
+    }
+
+    report.write_and_announce();
+}

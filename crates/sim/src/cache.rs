@@ -36,7 +36,10 @@ struct Line {
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines in one contiguous allocation: way `w` of set `s` lives
+    /// at index `s * ways + w`. Every per-set operation touches one
+    /// cache-friendly slice instead of chasing a per-set heap pointer.
+    lines: Vec<Line>,
     /// Metadata value for bytes of a newly filled line.
     meta_fill: bool,
     clock: u64,
@@ -60,25 +63,33 @@ impl Cache {
     /// every byte of a newly allocated line (ProtISA: `true` = protected;
     /// SPT shadow bits: `false` = private).
     pub fn new(cfg: CacheConfig, meta_fill: bool) -> Cache {
-        let sets = (0..cfg.sets())
-            .map(|_| {
-                (0..cfg.ways)
-                    .map(|_| Line {
-                        tag: None,
-                        lru: 0,
-                        meta: vec![meta_fill; cfg.line_bytes].into_boxed_slice(),
-                    })
-                    .collect()
+        let lines = (0..cfg.sets() * cfg.ways)
+            .map(|_| Line {
+                tag: None,
+                lru: 0,
+                meta: vec![meta_fill; cfg.line_bytes].into_boxed_slice(),
             })
             .collect();
         Cache {
             cfg,
-            sets,
+            lines,
             meta_fill,
             clock: 0,
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// The ways of set `idx`, in way order.
+    fn set(&self, idx: usize) -> &[Line] {
+        let base = idx * self.cfg.ways;
+        &self.lines[base..base + self.cfg.ways]
+    }
+
+    /// Mutable ways of set `idx`, in way order.
+    fn set_mut(&mut self, idx: usize) -> &mut [Line] {
+        let base = idx * self.cfg.ways;
+        &mut self.lines[base..base + self.cfg.ways]
     }
 
     /// The configuration.
@@ -98,7 +109,7 @@ impl Cache {
     /// update, no allocation).
     pub fn probe(&self, addr: u64) -> bool {
         let la = self.line_addr(addr);
-        self.sets[self.set_index(addr)]
+        self.set(self.set_index(addr))
             .iter()
             .any(|l| l.tag == Some(la))
     }
@@ -111,7 +122,8 @@ impl Cache {
         let set_idx = self.set_index(addr);
         let clock = self.clock;
         let meta_fill = self.meta_fill;
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * self.cfg.ways;
+        let set = &mut self.lines[base..base + self.cfg.ways];
         if let Some(line) = set.iter_mut().find(|l| l.tag == Some(la)) {
             line.lru = clock;
             self.hits += 1;
@@ -141,10 +153,11 @@ impl Cache {
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let la = self.line_addr(addr);
         let set_idx = self.set_index(addr);
-        for line in &mut self.sets[set_idx] {
+        let meta_fill = self.meta_fill;
+        for line in self.set_mut(set_idx) {
             if line.tag == Some(la) {
                 line.tag = None;
-                line.meta.fill(self.meta_fill);
+                line.meta.fill(meta_fill);
                 return true;
             }
         }
@@ -179,7 +192,7 @@ impl Cache {
             let la = self.line_addr(a);
             let offset = a - la;
             let chunk = (self.cfg.line_bytes as u64 - offset).min(remaining);
-            let set = &self.sets[self.set_index(a)];
+            let set = self.set(self.set_index(a));
             match set.iter().find(|l| l.tag == Some(la)) {
                 Some(line) => {
                     for i in 0..chunk {
@@ -211,7 +224,7 @@ impl Cache {
             let offset = a - la;
             let chunk = (line_bytes - offset).min(remaining);
             let set_idx = self.set_index(a);
-            if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.tag == Some(la)) {
+            if let Some(line) = self.set_mut(set_idx).iter_mut().find(|l| l.tag == Some(la)) {
                 for i in 0..chunk {
                     line.meta[(offset + i) as usize] = value;
                 }
@@ -225,15 +238,16 @@ impl Cache {
     /// addresses ordered by recency (a FLUSH+RELOAD/PRIME+PROBE-grade
     /// observation).
     pub fn tag_observation(&self) -> Vec<u64> {
-        let mut obs = Vec::new();
-        for (i, set) in self.sets.iter().enumerate() {
-            let mut lines: Vec<(u64, u64)> = set
-                .iter()
-                .filter_map(|l| l.tag.map(|t| (l.lru, t)))
-                .collect();
-            lines.sort_unstable();
+        let mut obs = Vec::with_capacity(self.cfg.sets() * (self.cfg.ways + 1));
+        // One scratch buffer reused across sets (ways is small and
+        // constant) instead of a fresh allocation per set.
+        let mut resident: Vec<(u64, u64)> = Vec::with_capacity(self.cfg.ways);
+        for (i, set) in self.lines.chunks_exact(self.cfg.ways).enumerate() {
+            resident.clear();
+            resident.extend(set.iter().filter_map(|l| l.tag.map(|t| (l.lru, t))));
+            resident.sort_unstable();
             obs.push(i as u64);
-            obs.extend(lines.into_iter().map(|(_, t)| t));
+            obs.extend(resident.iter().map(|&(_, t)| t));
         }
         obs
     }

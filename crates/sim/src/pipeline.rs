@@ -13,6 +13,7 @@
 //! point; the unsafe baseline is the policy that never blocks anything.
 
 use crate::defense::{BlockPoint, DefensePolicy, RegTags, Seq, SpecFrontier, SquashKind, NO_ROOT};
+use crate::sched::Scheduler;
 use crate::trace::{Trace, Tracer};
 use crate::{Btb, Rsb, TagePredictor};
 use crate::{Cache, CoreConfig, MemProtTracking, Stats};
@@ -275,6 +276,19 @@ pub struct Core<'a> {
     lq_used: usize,
     sq_used: usize,
     div_busy_until: u64,
+    /// Event-driven scheduling state (see [`crate::sched`]): completion
+    /// wheel, ready/waiting/waiter sets, per-register dependent lists.
+    sched: Scheduler,
+    /// Speculative-frontier snapshot, cached per tick and invalidated on
+    /// every event that can move it (dispatch, resolve, commit, squash).
+    /// Each pipeline stage still takes one snapshot at stage start, as
+    /// the per-stage scans always did.
+    cached_frontier: Option<SpecFrontier>,
+    /// µops the defense denied at the execute gate this tick — recorded
+    /// so idle-cycle fast-forward can bulk-attribute the skipped cycles.
+    exec_blocked: Vec<Seq>,
+    /// Scratch for draining the completion wheel.
+    completions: Vec<Seq>,
 
     // Memory.
     mem: Memory,
@@ -294,6 +308,10 @@ pub struct Core<'a> {
     /// or `PROTEAN_TRACE`): every event site is one `Option` check when off.
     tracer: Option<Box<Tracer>>,
     no_commit_cycles: u64,
+    /// `PROTEAN_DEBUG_BLOCKED`, read once at construction.
+    debug_blocked: bool,
+    /// `PROTEAN_SIM_DEBUG=1`, read once at construction.
+    sim_debug: bool,
 }
 
 const WATCHDOG_CYCLES: u64 = 100_000;
@@ -340,6 +358,10 @@ impl<'a> Core<'a> {
             lq_used: 0,
             sq_used: 0,
             div_busy_until: 0,
+            sched: Scheduler::new(n_phys),
+            cached_frontier: None,
+            exec_blocked: Vec::new(),
+            completions: Vec::new(),
             mem: initial.mem.clone(),
             l1d,
             l1i,
@@ -359,6 +381,8 @@ impl<'a> Core<'a> {
             program,
             policy,
             no_commit_cycles: 0,
+            debug_blocked: std::env::var_os("PROTEAN_DEBUG_BLOCKED").is_some(),
+            sim_debug: std::env::var_os("PROTEAN_SIM_DEBUG").is_some_and(|v| v == "1"),
         }
     }
 
@@ -408,7 +432,7 @@ impl<'a> Core<'a> {
             }
             if self.no_commit_cycles > WATCHDOG_CYCLES {
                 let dump = self.debug_dump();
-                if std::env::var_os("PROTEAN_SIM_DEBUG").is_some_and(|v| v == "1") {
+                if self.sim_debug {
                     eprint!("{dump}");
                 }
                 deadlock_dump = Some(dump);
@@ -416,6 +440,14 @@ impl<'a> Core<'a> {
                 break;
             }
             self.tick();
+            // Idle-cycle fast-forward: when a tick changed nothing, every
+            // cycle until the next scheduled event is an exact repeat —
+            // jump there and bulk-attribute the skipped cycles. Disabled
+            // under PROTEAN_DEBUG_BLOCKED so the per-cycle stderr lines
+            // stay per-cycle.
+            if !self.sched.progress() && !self.debug_blocked {
+                self.fast_forward(max_cycles);
+            }
         }
         let mut stats = std::mem::take(&mut self.stats);
         stats.cycles = self.cycle;
@@ -481,19 +513,37 @@ impl<'a> Core<'a> {
         out
     }
 
-    fn frontier(&self) -> SpecFrontier {
+    /// The speculative-frontier snapshot for the current stage, cached
+    /// until an event moves it (see [`Core::invalidate_frontier`]). The
+    /// oldest unresolved branch comes from the scheduler's ordered set
+    /// instead of an O(ROB) scan.
+    fn frontier(&mut self) -> SpecFrontier {
+        if let Some(fr) = self.cached_frontier {
+            return fr;
+        }
         let head_seq = self.rob.front().map(|u| u.seq).unwrap_or(Seq::MAX);
         let oldest_unresolved_branch = self
-            .rob
-            .iter()
-            .find(|u| u.inst.is_branch() && !u.resolved)
-            .map(|u| u.seq)
+            .sched
+            .unresolved_branches
+            .first()
+            .copied()
             .unwrap_or(Seq::MAX);
-        SpecFrontier {
+        let fr = SpecFrontier {
             head_seq,
             oldest_unresolved_branch,
             model: self.cfg.speculation,
-        }
+        };
+        self.cached_frontier = Some(fr);
+        fr
+    }
+
+    /// Drops the cached frontier. Called whenever the ROB head or the
+    /// unresolved-branch set may have changed: dispatch, branch
+    /// resolution, commit, and squash. Stages that already took their
+    /// snapshot keep using it for the rest of the stage — exactly the
+    /// one-snapshot-per-stage behaviour of the original scans.
+    fn invalidate_frontier(&mut self) {
+        self.cached_frontier = None;
     }
 
     /// Records a defense denial of the µop at ROB index `i` in the trace
@@ -511,6 +561,7 @@ impl<'a> Core<'a> {
 
     /// One cycle.
     fn tick(&mut self) {
+        self.sched.clear_progress();
         self.complete_and_wakeup();
         self.capture_store_data();
         self.resolve_branches();
@@ -522,81 +573,258 @@ impl<'a> Core<'a> {
         self.no_commit_cycles += 1;
     }
 
+    /// Idle-cycle fast-forward. Called after a tick that changed no
+    /// simulator state: defense decisions are pure functions of (µop,
+    /// tags, frontier), all of which only change on progress events, so
+    /// every cycle until the next scheduled event is an exact repeat of
+    /// the one just simulated. Jump straight to that event — the
+    /// earliest completion on the wheel, the divider or front-end stall
+    /// deadline, or the fetch queue's next ready entry — and
+    /// bulk-attribute the skipped cycles' blocked-cycle and no-commit
+    /// accounting, so `Stats` and the trace stay byte-identical with
+    /// per-cycle simulation. The jump is capped so the max-cycles and
+    /// watchdog exits still fire at exactly the cycle they always did.
+    /// Stale wheel entries from squashed µops can only make the jump
+    /// shorter than necessary (the tick at the stale event discards it,
+    /// idles, and fast-forwards again), never longer.
+    fn fast_forward(&mut self, max_cycles: u64) {
+        // `tick` has already advanced `self.cycle`, so a deadline equal
+        // to `cycle` means the *upcoming* tick behaves differently from
+        // the one just simulated — it must count as a wake point (making
+        // `target == cycle`, i.e. no jump). Only deadlines strictly in
+        // the past are spent.
+        let cycle = self.cycle;
+        let mut wake = u64::MAX;
+        if let Some(c) = self.sched.next_completion_cycle() {
+            wake = wake.min(c);
+        }
+        if self.fetch_stalled_until >= cycle {
+            wake = wake.min(self.fetch_stalled_until);
+        }
+        if let Some(f) = self.fetch_queue.front() {
+            if f.ready_cycle >= cycle {
+                wake = wake.min(f.ready_cycle);
+            }
+        }
+        if self.div_busy_until >= cycle {
+            wake = wake.min(self.div_busy_until);
+        }
+        // Never jump past an exit condition.
+        let nc_budget = (WATCHDOG_CYCLES + 1).saturating_sub(self.no_commit_cycles);
+        let target = wake.min(max_cycles).min(cycle.saturating_add(nc_budget));
+        if target <= cycle {
+            return;
+        }
+        let delta = target - cycle;
+        // Each skipped tick would have counted exactly the candidates the
+        // just-simulated tick counted: every wakeup-pending µop, every
+        // resolve candidate (only the oldest under the buggy arbiter),
+        // and every defense-denied issue candidate.
+        let buggy = self.policy.pending_squash_bug();
+        let resolve_candidates = if buggy {
+            self.sched.resolve_pending.len().min(1)
+        } else {
+            self.sched.resolve_pending.len()
+        };
+        self.stats.wakeup_blocked_cycles += delta * self.sched.wakeup_pending.len() as u64;
+        self.stats.resolve_blocked_cycles += delta * resolve_candidates as u64;
+        self.stats.exec_blocked_cycles += delta * self.exec_blocked.len() as u64;
+        if self.tracer.is_some() {
+            let fr = self.frontier();
+            let last = target - 1;
+            let mut scratch = std::mem::take(&mut self.sched.scratch);
+            for point in [BlockPoint::Wakeup, BlockPoint::Resolve, BlockPoint::Execute] {
+                scratch.clear();
+                match point {
+                    BlockPoint::Wakeup => {
+                        scratch.extend(self.sched.wakeup_pending.iter().copied());
+                    }
+                    BlockPoint::Resolve if buggy => {
+                        scratch.extend(self.sched.resolve_pending.first().copied());
+                    }
+                    BlockPoint::Resolve => {
+                        scratch.extend(self.sched.resolve_pending.iter().copied());
+                    }
+                    BlockPoint::Execute => scratch.extend(self.exec_blocked.iter().copied()),
+                }
+                for &seq in &scratch {
+                    let i = self.rob_index(seq).expect("blocked µop is in the ROB");
+                    let rule = self.policy.block_rule(&self.rob[i], point, &self.tags, &fr);
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.on_block_many(seq, point, cycle, last, delta, rule);
+                    }
+                }
+            }
+            self.sched.scratch = scratch;
+        }
+        self.no_commit_cycles += delta;
+        self.cycle = target;
+    }
+
     // ------------------------------------------------------------------
     // Completion & wakeup
     // ------------------------------------------------------------------
 
-    fn complete_and_wakeup(&mut self) {
-        let fr = self.frontier();
-        let cycle = self.cycle;
-        for i in 0..self.rob.len() {
-            let u = &mut self.rob[i];
-            if let UopStatus::Executing(done) = u.status {
-                if done <= cycle {
-                    u.complete_cycle = cycle;
-                    // Stores without data keep waiting for their data
-                    // operand; everything else is done.
-                    let store_needs_data =
-                        u.mem.as_ref().is_some_and(|m| m.is_store && !m.data_ready);
-                    u.status = if store_needs_data {
-                        UopStatus::WaitingData
-                    } else {
-                        UopStatus::Done
-                    };
-                    let seq = u.seq;
-                    // Write results to the PRF.
-                    for d in &u.dsts {
-                        self.prf_value[d.new_phys] = d.value;
-                        self.prf_done[d.new_phys] = true;
-                    }
-                    if let Some(t) = self.tracer.as_mut() {
-                        t.on_complete(seq, cycle);
-                    }
-                }
+    /// ROB index of the µop with sequence number `seq` (sequence numbers
+    /// are strictly increasing along the ROB, though not contiguous
+    /// after squashes).
+    fn rob_index(&self, seq: Seq) -> Option<usize> {
+        self.rob.binary_search_by_key(&seq, |u| u.seq).ok()
+    }
+
+    /// Exact operand-readiness predicate of the issue stage: every
+    /// source ready, except that a store's pure data operand may lag
+    /// (split STA/STD; captured later by `capture_store_data`).
+    fn operands_ready(&self, u: &DynInst) -> bool {
+        let addr_regs = u.inst.address_regs();
+        let data_reg = match u.inst.op {
+            Op::Store {
+                src: Operand::Reg(r),
+                ..
+            } => Some(r),
+            _ => None,
+        };
+        u.srcs.iter().all(|(r, p)| {
+            self.prf_ready[*p] || (u.is_store() && Some(*r) == data_reg && !addr_regs.contains(*r))
+        })
+    }
+
+    /// A source register that keeps [`Core::operands_ready`] false — the
+    /// dependent list the µop parks on until that register is written.
+    fn first_unready_src(&self, u: &DynInst) -> Option<usize> {
+        let addr_regs = u.inst.address_regs();
+        let data_reg = match u.inst.op {
+            Op::Store {
+                src: Operand::Reg(r),
+                ..
+            } => Some(r),
+            _ => None,
+        };
+        u.srcs
+            .iter()
+            .find(|(r, p)| {
+                !self.prf_ready[*p]
+                    && !(u.is_store() && Some(*r) == data_reg && !addr_regs.contains(*r))
+            })
+            .map(|(_, p)| *p)
+    }
+
+    /// Marks physical register `phys` ready and drains its dependent
+    /// list: each parked µop either becomes issue-ready or re-parks on
+    /// its next unready source.
+    fn publish_ready(&mut self, phys: usize) {
+        self.prf_ready[phys] = true;
+        let deps = self.sched.take_deps(phys);
+        for &seq in &deps {
+            let Some(i) = self.rob_index(seq) else {
+                continue; // squashed; sequence numbers are never reused
+            };
+            if self.rob[i].status != UopStatus::Waiting {
+                continue;
             }
-            let u = &self.rob[i];
-            if u.status == UopStatus::Done && !u.wakeup_done && !u.dsts.is_empty() {
-                if self.policy.may_wakeup(u, &self.tags, &fr) {
-                    let u = &mut self.rob[i];
-                    u.wakeup_done = true;
-                    for d in &u.dsts {
-                        self.prf_ready[d.new_phys] = true;
-                    }
-                } else {
-                    self.stats.wakeup_blocked_cycles += 1;
-                    if self.tracer.is_some() {
-                        let u = &self.rob[i];
-                        let rule = self
-                            .policy
-                            .block_rule(u, BlockPoint::Wakeup, &self.tags, &fr);
-                        let seq = u.seq;
-                        if let Some(t) = self.tracer.as_mut() {
-                            t.on_block(seq, BlockPoint::Wakeup, cycle, rule);
-                        }
-                    }
-                    if std::env::var_os("PROTEAN_DEBUG_BLOCKED").is_some() {
-                        let u = &self.rob[i];
-                        eprintln!(
-                            "wakeup-blocked idx={} {} mem_prot={:?}",
-                            u.idx, u.inst, u.mem_prot
-                        );
-                    }
-                }
+            if self.operands_ready(&self.rob[i]) {
+                self.sched.issue_ready.insert(seq);
+            } else {
+                let p = self
+                    .first_unready_src(&self.rob[i])
+                    .expect("not-ready µop has an unready source");
+                self.sched.register_dep(p, seq);
             }
         }
     }
 
-    fn capture_store_data(&mut self) {
-        for i in 0..self.rob.len() {
-            let u = &self.rob[i];
-            let needs = matches!(u.status, UopStatus::WaitingData)
-                || (u.is_store()
-                    && u.mem
-                        .as_ref()
-                        .is_some_and(|m| m.addr.is_some() && !m.data_ready));
-            if !needs {
+    fn complete_and_wakeup(&mut self) {
+        let fr = self.frontier();
+        let cycle = self.cycle;
+        // Completions due this cycle, straight off the event wheel.
+        let mut completions = std::mem::take(&mut self.completions);
+        self.sched.pop_completions(cycle, &mut completions);
+        for &seq in &completions {
+            let Some(i) = self.rob_index(seq) else {
+                continue; // squashed after scheduling; stale event
+            };
+            let u = &mut self.rob[i];
+            let UopStatus::Executing(done) = u.status else {
                 continue;
+            };
+            debug_assert!(done <= cycle, "completion event fired early");
+            u.complete_cycle = cycle;
+            // Stores without data keep waiting for their data operand;
+            // everything else is done.
+            let store_needs_data = u.mem.as_ref().is_some_and(|m| m.is_store && !m.data_ready);
+            u.status = if store_needs_data {
+                UopStatus::WaitingData
+            } else {
+                UopStatus::Done
+            };
+            let has_dsts = !u.dsts.is_empty();
+            // Write results to the PRF.
+            for d in &u.dsts {
+                self.prf_value[d.new_phys] = d.value;
+                self.prf_done[d.new_phys] = true;
             }
+            if !store_needs_data && has_dsts {
+                self.sched.wakeup_pending.insert(seq);
+            }
+            if let Some(t) = self.tracer.as_mut() {
+                t.on_complete(seq, cycle);
+            }
+            self.sched.mark_progress();
+        }
+        self.completions = completions;
+        // Wakeup: grant or count every pending candidate, in age order —
+        // exactly the candidates the old full-ROB scan would visit.
+        if self.sched.wakeup_pending.is_empty() {
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.sched.scratch);
+        scratch.clear();
+        scratch.extend(self.sched.wakeup_pending.iter().copied());
+        for &seq in &scratch {
+            let i = self.rob_index(seq).expect("pending µop is in the ROB");
+            if self.policy.may_wakeup(&self.rob[i], &self.tags, &fr) {
+                self.rob[i].wakeup_done = true;
+                for k in 0..self.rob[i].dsts.len() {
+                    let phys = self.rob[i].dsts[k].new_phys;
+                    self.publish_ready(phys);
+                }
+                self.sched.wakeup_pending.remove(&seq);
+                self.sched.mark_progress();
+            } else {
+                self.stats.wakeup_blocked_cycles += 1;
+                if self.tracer.is_some() {
+                    let u = &self.rob[i];
+                    let rule = self
+                        .policy
+                        .block_rule(u, BlockPoint::Wakeup, &self.tags, &fr);
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.on_block(seq, BlockPoint::Wakeup, cycle, rule);
+                    }
+                }
+                if self.debug_blocked {
+                    let u = &self.rob[i];
+                    eprintln!(
+                        "wakeup-blocked idx={} {} mem_prot={:?}",
+                        u.idx, u.inst, u.mem_prot
+                    );
+                }
+            }
+        }
+        self.sched.scratch = scratch;
+    }
+
+    fn capture_store_data(&mut self) {
+        // Candidates: stores/calls that computed their address but have
+        // not yet captured their data — exactly the store-waiter set.
+        if self.sched.store_waiters.is_empty() {
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.sched.scratch);
+        scratch.clear();
+        scratch.extend(self.sched.store_waiters.iter().copied());
+        for &seq in &scratch {
+            let i = self.rob_index(seq).expect("store waiter is in the ROB");
+            let u = &self.rob[i];
             // Find the data operand.
             let (value, prot, yrot, taint, ready) = match u.inst.op {
                 Op::Store { src, .. } => match src {
@@ -618,7 +846,7 @@ impl<'a> Core<'a> {
                 },
                 // `call` stores its (public, constant) return address.
                 Op::Call { .. } => (self.program.pc_of(u.idx + 1), false, NO_ROOT, false, true),
-                _ => continue,
+                _ => unreachable!("store waiter is a store or call"),
             };
             if ready {
                 let u = &mut self.rob[i];
@@ -630,9 +858,15 @@ impl<'a> Core<'a> {
                 m.data_ready = true;
                 if matches!(u.status, UopStatus::WaitingData) {
                     u.status = UopStatus::Done;
+                    if !u.dsts.is_empty() {
+                        self.sched.wakeup_pending.insert(seq);
+                    }
                 }
+                self.sched.store_waiters.remove(&seq);
+                self.sched.mark_progress();
             }
         }
+        self.sched.scratch = scratch;
     }
 
     // ------------------------------------------------------------------
@@ -640,39 +874,37 @@ impl<'a> Core<'a> {
     // ------------------------------------------------------------------
 
     fn resolve_branches(&mut self) {
+        // Candidates: executed, unresolved, mispredicted branches —
+        // exactly the resolve-pending set, in age order.
+        if self.sched.resolve_pending.is_empty() {
+            return;
+        }
         let fr = self.frontier();
-        // Candidates: executed, unresolved, mispredicted branches.
         let buggy = self.policy.pending_squash_bug();
         let mut chosen: Option<usize> = None;
-        for i in 0..self.rob.len() {
-            let u = &self.rob[i];
-            if !u.inst.is_branch() || u.resolved || u.actual_next.is_none() {
-                continue;
-            }
-            if !u.mispredicted {
-                continue;
-            }
-            if buggy {
-                // Buggy arbiter (§VII-B4b): only the oldest misprediction
-                // is considered, regardless of whether the defense allows
-                // it to resolve — an older protected branch blocks all
-                // younger squashes, leaking its predicate via timing.
-                if self.policy.may_resolve(u, &self.tags, &fr) {
-                    chosen = Some(i);
-                } else {
-                    self.stats.resolve_blocked_cycles += 1;
-                    self.trace_block(i, BlockPoint::Resolve, &fr);
-                }
-                break;
-            }
-            if self.policy.may_resolve(u, &self.tags, &fr) {
+        let mut scratch = std::mem::take(&mut self.sched.scratch);
+        scratch.clear();
+        scratch.extend(self.sched.resolve_pending.iter().copied());
+        for &seq in &scratch {
+            let i = self
+                .rob_index(seq)
+                .expect("resolve candidate is in the ROB");
+            if self.policy.may_resolve(&self.rob[i], &self.tags, &fr) {
                 chosen = Some(i);
                 break;
             }
             self.stats.resolve_blocked_cycles += 1;
             self.trace_block(i, BlockPoint::Resolve, &fr);
+            if buggy {
+                // Buggy arbiter (§VII-B4b): only the oldest misprediction
+                // is considered, regardless of whether the defense allows
+                // it to resolve — an older protected branch blocks all
+                // younger squashes, leaking its predicate via timing.
+                break;
+            }
             // Fixed arbiter: keep scanning for a younger resolvable one.
         }
+        self.sched.scratch = scratch;
         if let Some(i) = chosen {
             self.do_branch_squash(i);
         }
@@ -692,6 +924,10 @@ impl<'a> Core<'a> {
                 u.actual_taken,
             )
         };
+        self.sched.resolve_pending.remove(&seq);
+        self.sched.unresolved_branches.remove(&seq);
+        self.invalidate_frontier();
+        self.sched.mark_progress();
         self.stats.branch_squashes += 1;
         self.squash_younger_than(seq, SquashKind::Branch);
         // Restore the front end to the branch's pre-fetch state, then
@@ -741,6 +977,11 @@ impl<'a> Core<'a> {
                 self.prf_ready[d.new_phys] = false;
             }
         }
+        // Squashed sequence numbers never reappear, so the ordered sets
+        // are cleaned eagerly; wheel slots and dependent lists are
+        // filtered lazily against the ROB when drained.
+        self.sched.squash_after(surviving);
+        self.invalidate_frontier();
         self.policy.on_squash(surviving);
     }
 
@@ -767,6 +1008,7 @@ impl<'a> Core<'a> {
         self.fetch_idx = refetch;
         self.fetch_queue.clear();
         self.fetch_stalled_until = self.cycle + self.cfg.redirect_penalty as u64;
+        self.sched.mark_progress();
         match kind {
             SquashKind::MemOrder => self.stats.memorder_squashes += 1,
             SquashKind::DivFault => self.stats.divfault_squashes += 1,
@@ -791,6 +1033,13 @@ impl<'a> Core<'a> {
             }
             let u = self.rob.pop_front().expect("head exists");
             self.no_commit_cycles = 0;
+            self.invalidate_frontier();
+            self.sched.mark_progress();
+            if !u.wakeup_done && !u.dsts.is_empty() {
+                // The head may commit while its wakeup is still denied —
+                // its pending entry must not outlive its ROB slot.
+                self.sched.wakeup_pending.remove(&u.seq);
+            }
             self.stats.committed += 1;
             if let Some(t) = self.tracer.as_mut() {
                 t.on_commit(u.seq, self.cycle);
@@ -842,7 +1091,7 @@ impl<'a> Core<'a> {
             for d in &u.dsts {
                 self.committed_regs[d.arch.index()] = d.value;
                 self.prf_done[d.new_phys] = true;
-                self.prf_ready[d.new_phys] = true;
+                self.publish_ready(d.new_phys);
                 // Free the previous mapping.
                 self.free_list.push_back(d.prev_phys);
             }
@@ -941,45 +1190,43 @@ impl<'a> Core<'a> {
     // ------------------------------------------------------------------
 
     fn issue(&mut self) {
+        // Recorded for idle-cycle fast-forward: the µops the defense
+        // denied this tick (an identical set would be denied every
+        // skipped idle cycle).
+        self.exec_blocked.clear();
+        if self.sched.issue_ready.is_empty() {
+            return;
+        }
         let fr = self.frontier();
+        // The issue window admits the `iq_size` oldest *waiting* µops,
+        // ready or not — the old scan broke upon reaching the
+        // (iq_size+1)-th waiting entry, so that entry's sequence number
+        // is the exclusive cutoff for ready candidates.
+        let cutoff = if self.sched.waiting.len() > self.cfg.iq_size {
+            *self
+                .sched
+                .waiting
+                .iter()
+                .nth(self.cfg.iq_size)
+                .expect("length checked")
+        } else {
+            Seq::MAX
+        };
         let mut alu_slots = self.cfg.alu_ports;
         let mut mem_slots = self.cfg.mem_ports;
         let mut issued = 0usize;
-        let mut window = 0usize;
         let mut pending_violation: Option<(Seq, u32)> = None;
+        let mut scratch = std::mem::take(&mut self.sched.scratch);
+        scratch.clear();
+        scratch.extend(self.sched.issue_ready.range(..cutoff).copied());
 
-        for i in 0..self.rob.len() {
+        for &seq in &scratch {
             if issued >= self.cfg.issue_width || (alu_slots == 0 && mem_slots == 0) {
                 break;
             }
-            if self.rob[i].status != UopStatus::Waiting {
-                continue;
-            }
-            window += 1;
-            if window > self.cfg.iq_size {
-                break;
-            }
-            // Operand readiness. Stores only need their address operands
-            // (their data is captured later, like a split STA/STD pair) —
-            // unless the data register doubles as an address register.
-            let ready = {
-                let u = &self.rob[i];
-                let addr_regs = u.inst.address_regs();
-                let data_reg = match u.inst.op {
-                    Op::Store {
-                        src: Operand::Reg(r),
-                        ..
-                    } => Some(r),
-                    _ => None,
-                };
-                u.srcs.iter().all(|(r, p)| {
-                    self.prf_ready[*p]
-                        || (u.is_store() && Some(*r) == data_reg && !addr_regs.contains(*r))
-                })
-            };
-            if !ready {
-                continue;
-            }
+            let i = self.rob_index(seq).expect("issue-ready µop is in the ROB");
+            debug_assert_eq!(self.rob[i].status, UopStatus::Waiting);
+            debug_assert!(self.operands_ready(&self.rob[i]));
             // Port availability.
             let is_mem = self.rob[i].inst.is_mem();
             if is_mem && mem_slots == 0 {
@@ -996,13 +1243,14 @@ impl<'a> Core<'a> {
             if !self.policy.may_execute(&self.rob[i], &self.tags, &fr) {
                 self.stats.exec_blocked_cycles += 1;
                 self.trace_block(i, BlockPoint::Execute, &fr);
-                if std::env::var_os("PROTEAN_DEBUG_BLOCKED").is_some() {
+                if self.debug_blocked {
                     let u = &self.rob[i];
                     eprintln!(
                         "blocked idx={} {} seq={} sens_prot={} yrot_in={}",
                         u.idx, u.inst, u.seq, u.sens_prot, u.in_yrot
                     );
                 }
+                self.exec_blocked.push(seq);
                 continue;
             }
             // Execute (false = blocked, e.g. a partial store overlap).
@@ -1013,14 +1261,18 @@ impl<'a> Core<'a> {
                 } else {
                     alu_slots -= 1;
                 }
+                self.sched.waiting.remove(&seq);
+                self.sched.issue_ready.remove(&seq);
+                self.sched.mark_progress();
                 if self.tracer.is_some() {
-                    let (seq, cycle) = (self.rob[i].seq, self.cycle);
+                    let cycle = self.cycle;
                     if let Some(t) = self.tracer.as_mut() {
                         t.on_issue(seq, cycle);
                     }
                 }
             }
         }
+        self.sched.scratch = scratch;
 
         if let Some((surviving, refetch_idx)) = pending_violation {
             self.squash_and_refetch(surviving, Some(refetch_idx), SquashKind::MemOrder);
@@ -1126,11 +1378,16 @@ impl<'a> Core<'a> {
                 let rsp = self.src_val(u, Reg::RSP).wrapping_sub(8);
                 let ok = self.execute_store(i, rsp, 8, cycle, pending_violation);
                 if ok {
-                    let u = &mut self.rob[i];
-                    u.dsts[0].value = rsp;
-                    // A call's target is static: never mispredicted.
-                    u.actual_next = Some(u.pred_next);
-                    u.resolved = true;
+                    let seq = {
+                        let u = &mut self.rob[i];
+                        u.dsts[0].value = rsp;
+                        // A call's target is static: never mispredicted.
+                        u.actual_next = Some(u.pred_next);
+                        u.resolved = true;
+                        u.seq
+                    };
+                    self.sched.unresolved_branches.remove(&seq);
+                    self.invalidate_frontier();
                 }
                 return ok;
             }
@@ -1150,19 +1407,33 @@ impl<'a> Core<'a> {
         }
 
         let u = &mut self.rob[i];
+        let seq = u.seq;
         u.status = UopStatus::Executing(cycle + latency as u64);
         u.issue_cycle = cycle;
         u.div_fault = div_fault;
         for (d, v) in u.dsts.iter_mut().zip(dst_values) {
             d.value = v;
         }
+        let mut newly_resolved = false;
+        let mut newly_mispredicted = false;
         if let Some(an) = actual_next {
             u.actual_taken = actual_taken;
             u.actual_next = Some(an);
             u.mispredicted = an != u.pred_next;
             if !u.mispredicted {
                 u.resolved = true;
+                newly_resolved = true;
+            } else {
+                newly_mispredicted = true;
             }
+        }
+        self.sched.schedule_completion(cycle + latency as u64, seq);
+        if newly_resolved {
+            self.sched.unresolved_branches.remove(&seq);
+            self.invalidate_frontier();
+        }
+        if newly_mispredicted {
+            self.sched.resolve_pending.insert(seq);
         }
         true
     }
@@ -1238,6 +1509,8 @@ impl<'a> Core<'a> {
             u.mem_prot = Some(mem_prot);
         }
         // Destination values: Load writes dst; Ret writes RSP.
+        let mut newly_resolved = false;
+        let mut newly_mispredicted = false;
         match u.inst.op {
             Op::Load { .. } => {
                 u.dsts[0].value = value; // zero-extended
@@ -1250,9 +1523,20 @@ impl<'a> Core<'a> {
                 u.mispredicted = target != u.pred_next;
                 if !u.mispredicted {
                     u.resolved = true;
+                    newly_resolved = true;
+                } else {
+                    newly_mispredicted = true;
                 }
             }
             _ => unreachable!("execute_load on non-load"),
+        }
+        self.sched.schedule_completion(cycle + latency as u64, seq);
+        if newly_resolved {
+            self.sched.unresolved_branches.remove(&seq);
+            self.invalidate_frontier();
+        }
+        if newly_mispredicted {
+            self.sched.resolve_pending.insert(seq);
         }
         // Policy hook (access predictor resolution, taint from memory).
         let mut u = self.rob[i].clone();
@@ -1303,6 +1587,8 @@ impl<'a> Core<'a> {
         u.issue_cycle = cycle;
         let m = u.mem.as_mut().expect("store has mem state");
         m.addr = Some(addr);
+        self.sched.schedule_completion(cycle + 1, seq);
+        self.sched.store_waiters.insert(seq);
         true
     }
 
@@ -1444,6 +1730,23 @@ impl<'a> Core<'a> {
             if let Some(t) = self.tracer.as_mut() {
                 t.on_rename(&u, self.cycle);
             }
+            // Dispatch into the scheduler: every µop enters the waiting
+            // set; ready ones go straight to the issue-ready set, the
+            // rest park on one unready source register each.
+            self.sched.waiting.insert(seq);
+            if self.operands_ready(&u) {
+                self.sched.issue_ready.insert(seq);
+            } else {
+                let p = self
+                    .first_unready_src(&u)
+                    .expect("not-ready µop has an unready source");
+                self.sched.register_dep(p, seq);
+            }
+            if inst.is_branch() {
+                self.sched.unresolved_branches.insert(seq);
+            }
+            self.invalidate_frontier();
+            self.sched.mark_progress();
             // Nop/Halt and direct jumps execute trivially.
             self.rob.push_back(u);
             self.stats.fetched += 1;
@@ -1476,6 +1779,7 @@ impl<'a> Core<'a> {
             if !self.l1i.probe(pc) {
                 self.l1i.access(pc);
                 self.fetch_stalled_until = self.cycle + self.cfg.l2.latency as u64;
+                self.sched.mark_progress();
                 return;
             }
             self.l1i.access(pc);
@@ -1516,6 +1820,7 @@ impl<'a> Core<'a> {
                 rsb_snapshot,
                 ready_cycle: self.cycle + self.cfg.frontend_depth as u64,
             });
+            self.sched.mark_progress();
             self.fetch_idx = pred_next;
             // Stop the fetch group after a taken control transfer.
             if pred_next != Some(idx + 1) {

@@ -1,0 +1,241 @@
+//! Event-driven scheduling structures for the out-of-order core.
+//!
+//! The original pipeline walked the entire ROB once per stage per cycle
+//! — completion, store-data capture, branch resolution, and issue were
+//! each O(ROB) even on cycles where nothing could possibly happen. The
+//! [`Scheduler`] replaces those scans with explicit event sets keyed by
+//! sequence number ([`Seq`]), all maintained incrementally by the
+//! pipeline:
+//!
+//! * a **completion event wheel** (`BTreeMap<cycle, Vec<Seq>>`): a µop
+//!   entering execution schedules exactly one completion event, so the
+//!   completion stage touches only µops finishing *this* cycle;
+//! * **per-physical-register dependent lists**: a dispatched µop whose
+//!   operands are not ready registers on one unready source; when that
+//!   register is written back the list is drained and the µop either
+//!   becomes issue-ready or re-registers on its next unready source
+//!   (consumers are woken by producers instead of the issue stage
+//!   re-polling every waiting µop's sources);
+//! * an **issue-ready set**: the Waiting µops whose operand-readiness
+//!   predicate holds — the only µops the issue stage examines;
+//! * a **waiting set** (all Waiting µops in age order) — needed because
+//!   the issue window counts *every* waiting µop toward `iq_size`,
+//!   ready or not, so the cutoff sequence must be derivable exactly;
+//! * a **store-data waiter set**: stores (and calls) that have computed
+//!   their address but not yet captured their data operand;
+//! * a **wakeup-pending set**: completed µops whose result broadcast the
+//!   defense is still denying (`may_wakeup`) — re-checked each cycle
+//!   until granted, exactly like the old per-ROB scan;
+//! * a **resolve-pending set**: executed, unresolved, mispredicted
+//!   branches — the exact candidate set of `resolve_branches`;
+//! * an **unresolved-branch set** (every in-flight branch that has not
+//!   resolved): its minimum is the speculative frontier's
+//!   `oldest_unresolved_branch`, making the frontier O(1) to snapshot.
+//!
+//! Sequence numbers are unique and never reused, so stale entries (from
+//! squashed µops) are filtered lazily: wheel slots and dependent lists
+//! are checked against the ROB when drained, while the ordered sets are
+//! cleaned eagerly on squash with `split_off` (everything younger than
+//! the surviving sequence is discarded in one O(log n) operation).
+//!
+//! The scheduler also powers **idle-cycle fast-forward**: when a tick
+//! makes no progress (see [`Scheduler::progress`]), the pipeline asks
+//! for the next cycle at which anything can change
+//! ([`Scheduler::next_completion_cycle`], merged with front-end stall
+//! deadlines by the core) and jumps there, bulk-attributing the skipped
+//! blocked/no-commit cycles so `Stats` and the trace/audit
+//! reconciliation stay byte-exact. See `DESIGN.md` for the invariant
+//! argument.
+
+use crate::defense::Seq;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Event-driven scheduling state owned by the core (see module docs).
+///
+/// All sets are keyed by [`Seq`] — unique, monotonically increasing,
+/// never reused — so age-order iteration of any set reproduces the ROB
+/// scan order of the original per-cycle loops.
+#[derive(Debug, Default)]
+pub(crate) struct Scheduler {
+    /// Completion event wheel: done-cycle → µops finishing that cycle.
+    wheel: BTreeMap<u64, Vec<Seq>>,
+    /// Every µop currently in `UopStatus::Waiting`, in age order.
+    pub waiting: BTreeSet<Seq>,
+    /// Waiting µops whose operand-readiness predicate holds.
+    pub issue_ready: BTreeSet<Seq>,
+    /// Completed µops with results whose wakeup the defense has not yet
+    /// granted.
+    pub wakeup_pending: BTreeSet<Seq>,
+    /// Stores/calls with a computed address still awaiting data capture.
+    pub store_waiters: BTreeSet<Seq>,
+    /// Executed, unresolved, mispredicted branches (resolve candidates).
+    pub resolve_pending: BTreeSet<Seq>,
+    /// Every in-flight branch that has not resolved (frontier input).
+    pub unresolved_branches: BTreeSet<Seq>,
+    /// Per-physical-register dependent lists: µops parked on one unready
+    /// source register each.
+    dep_lists: Vec<Vec<Seq>>,
+    /// Whether the current tick changed any simulator state (beyond
+    /// blocked-cycle accounting). Cleared at tick start; an un-set flag
+    /// at tick end certifies the cycle is repeatable and fast-forward is
+    /// sound.
+    progress: bool,
+    /// Scratch buffer recycled by the pipeline's per-stage iteration
+    /// (sets cannot be mutated while iterated).
+    pub scratch: Vec<Seq>,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for a core with `n_phys` physical registers.
+    pub fn new(n_phys: usize) -> Scheduler {
+        Scheduler {
+            dep_lists: vec![Vec::new(); n_phys],
+            ..Scheduler::default()
+        }
+    }
+
+    // ---- completion wheel -------------------------------------------
+
+    /// Schedules `seq` to complete at `done`.
+    pub fn schedule_completion(&mut self, done: u64, seq: Seq) {
+        self.wheel.entry(done).or_default().push(seq);
+    }
+
+    /// Removes and returns every completion event due at or before
+    /// `cycle`, in age order. Stale events (squashed µops) survive here
+    /// and are filtered by the caller against the ROB.
+    pub fn pop_completions(&mut self, cycle: u64, out: &mut Vec<Seq>) {
+        out.clear();
+        while let Some(entry) = self.wheel.first_entry() {
+            if *entry.key() > cycle {
+                break;
+            }
+            out.extend(entry.remove());
+        }
+        // Multiple slots can drain at once only after a squash re-issues
+        // work; keep age order so processing matches the old ROB scan.
+        out.sort_unstable();
+    }
+
+    /// The cycle of the earliest outstanding completion event, if any.
+    pub fn next_completion_cycle(&self) -> Option<u64> {
+        self.wheel.keys().next().copied()
+    }
+
+    // ---- dependent lists --------------------------------------------
+
+    /// Parks `seq` until physical register `phys` is written back.
+    pub fn register_dep(&mut self, phys: usize, seq: Seq) {
+        self.dep_lists[phys].push(seq);
+    }
+
+    /// Takes the dependent list of `phys` for draining (the caller
+    /// re-registers entries that are still not ready).
+    pub fn take_deps(&mut self, phys: usize) -> Vec<Seq> {
+        std::mem::take(&mut self.dep_lists[phys])
+    }
+
+    // ---- squash -----------------------------------------------------
+
+    /// Discards every entry younger than `surviving` from the ordered
+    /// sets. Wheel slots and dependent lists are left to lazy filtering:
+    /// squashed sequence numbers never reappear in the ROB, so a stale
+    /// entry can never be mistaken for live work.
+    pub fn squash_after(&mut self, surviving: Seq) {
+        let bound = surviving + 1;
+        for set in [
+            &mut self.waiting,
+            &mut self.issue_ready,
+            &mut self.wakeup_pending,
+            &mut self.store_waiters,
+            &mut self.resolve_pending,
+            &mut self.unresolved_branches,
+        ] {
+            set.split_off(&bound);
+        }
+    }
+
+    // ---- progress flag ----------------------------------------------
+
+    /// Clears the progress flag at tick start.
+    pub fn clear_progress(&mut self) {
+        self.progress = false;
+    }
+
+    /// Marks that this tick changed simulator state.
+    pub fn mark_progress(&mut self) {
+        self.progress = true;
+    }
+
+    /// Whether this tick changed simulator state.
+    pub fn progress(&self) -> bool {
+        self.progress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wheel_pops_due_events_in_age_order() {
+        let mut s = Scheduler::new(4);
+        s.schedule_completion(10, 3);
+        s.schedule_completion(5, 7);
+        s.schedule_completion(5, 2);
+        s.schedule_completion(12, 1);
+        let mut out = Vec::new();
+        s.pop_completions(4, &mut out);
+        assert!(out.is_empty());
+        s.pop_completions(10, &mut out);
+        assert_eq!(out, vec![2, 3, 7]);
+        assert_eq!(s.next_completion_cycle(), Some(12));
+        s.pop_completions(100, &mut out);
+        assert_eq!(out, vec![1]);
+        assert_eq!(s.next_completion_cycle(), None);
+    }
+
+    #[test]
+    fn squash_discards_only_younger_entries() {
+        let mut s = Scheduler::new(4);
+        for seq in [1u64, 5, 9] {
+            s.waiting.insert(seq);
+            s.issue_ready.insert(seq);
+            s.wakeup_pending.insert(seq);
+            s.store_waiters.insert(seq);
+            s.resolve_pending.insert(seq);
+            s.unresolved_branches.insert(seq);
+        }
+        s.squash_after(5);
+        for set in [
+            &s.waiting,
+            &s.issue_ready,
+            &s.wakeup_pending,
+            &s.store_waiters,
+            &s.resolve_pending,
+            &s.unresolved_branches,
+        ] {
+            assert_eq!(set.iter().copied().collect::<Vec<_>>(), vec![1, 5]);
+        }
+    }
+
+    #[test]
+    fn dep_lists_roundtrip() {
+        let mut s = Scheduler::new(2);
+        s.register_dep(1, 4);
+        s.register_dep(1, 8);
+        assert_eq!(s.take_deps(1), vec![4, 8]);
+        assert!(s.take_deps(1).is_empty());
+        assert!(s.take_deps(0).is_empty());
+    }
+
+    #[test]
+    fn progress_flag_lifecycle() {
+        let mut s = Scheduler::new(1);
+        assert!(!s.progress());
+        s.mark_progress();
+        assert!(s.progress());
+        s.clear_progress();
+        assert!(!s.progress());
+    }
+}

@@ -222,6 +222,40 @@ impl Tracer {
         }
     }
 
+    /// Bulk form of [`Tracer::on_block`]: the defense denied a µop at
+    /// `point` for `delta` consecutive cycles ending at `last_cycle`,
+    /// all under the same `rule` (idle-cycle fast-forward attributes the
+    /// skipped cycles in one call). Equivalent to `delta` single-cycle
+    /// `on_block` calls: `first_cycle`/`rule` are only recorded if this
+    /// is the µop's first denial at the gate, and past-cap µops
+    /// accumulate into the overflow counters so
+    /// [`Trace::blocked_totals`] reconciliation stays exact.
+    pub fn on_block_many(
+        &mut self,
+        seq: Seq,
+        point: BlockPoint,
+        first_cycle: u64,
+        last_cycle: u64,
+        delta: u64,
+        rule: &'static str,
+    ) {
+        if delta == 0 {
+            return;
+        }
+        match self.slot(seq) {
+            Some(t) => {
+                let b = &mut t.blocked[point as usize];
+                if b.cycles == 0 {
+                    b.first_cycle = first_cycle;
+                    b.rule = rule;
+                }
+                b.cycles += delta;
+                b.last_cycle = last_cycle;
+            }
+            None => self.overflow_blocked[point as usize] += delta,
+        }
+    }
+
     /// Seals the recording into an immutable [`Trace`].
     pub fn finish(self, cycles: u64) -> Trace {
         Trace {
