@@ -51,7 +51,26 @@ PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" \
     cargo run -q --release --offline -p protean-bench --bin ablation_fixes -- --quick >/dev/null
 PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" PROTEAN_BENCH_SAMPLES=1 PROTEAN_BENCH_WARMUP=0 \
     cargo run -q --release --offline -p protean-bench --bin perf_smoke >/dev/null
+
+echo "== campaign_perf determinism (--quick, PROTEAN_JOBS=1 vs 4)"
+# The campaign-throughput bench writes a second, wall-time-free report
+# (campaign_perf_report.json) holding only the deterministic campaign
+# results. It must be byte-identical at any job-pool width — the
+# determinism contract the reusable Core arena and COW memory are held
+# to — so run it serially, stash the report, rerun at width 4, and
+# byte-compare. (The .bak suffix keeps the stash out of validate_json's
+# *.json glob below.)
+PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" PROTEAN_JOBS=1 PROTEAN_BENCH_SAMPLES=1 PROTEAN_BENCH_WARMUP=0 \
+    cargo run -q --release --offline -p protean-bench --bin campaign_perf -- --quick >/dev/null
+cp "$BENCH_SMOKE_DIR/campaign_perf_report.json" "$BENCH_SMOKE_DIR/campaign_perf_report.jobs1.bak"
+PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" PROTEAN_JOBS=4 PROTEAN_BENCH_SAMPLES=1 PROTEAN_BENCH_WARMUP=0 \
+    cargo run -q --release --offline -p protean-bench --bin campaign_perf -- --quick >/dev/null
+cmp "$BENCH_SMOKE_DIR/campaign_perf_report.jobs1.bak" "$BENCH_SMOKE_DIR/campaign_perf_report.json"
+
+echo "== validate_json (all smoke reports + committed BENCH_perf.json)"
 PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" \
     cargo run -q --release --offline -p protean-bench --bin validate_json
+# The committed perf trajectory must stay parseable and in schema.
+cargo run -q --release --offline -p protean-bench --bin validate_json -- BENCH_perf.json
 
 echo "CI OK"

@@ -11,7 +11,7 @@
 use crate::generator::{
     self, GadgetTemplate, GenConfig, PUBLIC_BASE, PUBLIC_SIZE, SECRET_BASE, SECRET_SIZE,
 };
-use protean_arch::{ArchState, Emulator, ExitStatus, ObserverMode};
+use protean_arch::{ArchState, Emulator, ExecRecord, ExitStatus, ObserverMode};
 use protean_cc::{compile_with, public_typing, Pass};
 use protean_isa::Program;
 use protean_rng::Rng;
@@ -72,10 +72,13 @@ impl Adversary {
         }
     }
 
-    fn observe(self, result: &SimResult) -> Vec<u64> {
+    /// Whether the adversary can distinguish the two runs. Compares the
+    /// observations in place — no copy of the cache or timing trace is
+    /// ever materialised.
+    fn observations_differ(self, a: &SimResult, b: &SimResult) -> bool {
         match self {
-            Adversary::CacheTlb => result.cache_obs.clone(),
-            Adversary::Timing => result.timing.iter().flatten().copied().collect(),
+            Adversary::CacheTlb => a.cache_obs != b.cache_obs,
+            Adversary::Timing => a.timing != b.timing,
         }
     }
 }
@@ -157,6 +160,10 @@ pub struct Report {
     pub violations: u64,
     /// Filtered false positives.
     pub false_positives: u64,
+    /// Total µops committed across all hardware runs (base and mutant),
+    /// for campaign-throughput accounting. Deterministic like every
+    /// other counter: traced example re-runs are excluded.
+    pub committed_uops: u64,
     /// Example violations (up to 8).
     pub examples: Vec<Violation>,
 }
@@ -201,6 +208,7 @@ pub fn fuzz(
         report.pairs_rejected += partial.report.pairs_rejected;
         report.violations += partial.report.violations;
         report.false_positives += partial.report.false_positives;
+        report.committed_uops += partial.report.committed_uops;
         for v in partial.report.examples {
             if report.examples.len() < 8 {
                 report.examples.push(v);
@@ -244,19 +252,32 @@ fn fuzz_one_program(
     let observer = cfg.contract.observer(&program);
     let mut rng = Rng::seed_from_u64(seed ^ 0x5eed);
 
+    // Per-program arenas: one `Core` serves the base run and every
+    // mutant run via `Core::reset` (byte-identical to constructing a
+    // fresh core each time), and one record buffer backs every SEQ
+    // trace. Results do not depend on reuse, so parallel workers stay
+    // deterministic at any worker count.
+    let mut records: Vec<ExecRecord> = Vec::new();
+
     // The base input.
     let base = make_input(&mut rng);
-    let Some(base_trace) = seq_trace(&program, &base, &observer, cfg.max_steps) else {
+    let Some(base_trace) = seq_trace(&program, &base, &observer, cfg.max_steps, &mut records)
+    else {
         // Non-terminating or bad control flow: skip program.
         return ProgramOutcome { report, stopped };
     };
-    let base_hw = run_hw(&program, &base, cfg, policy_factory());
+    let mut core = Core::new(&program, cfg.core.clone(), policy_factory(), &base);
+    core.record_traces(true);
+    let base_hw = core.run_mut(cfg.max_steps, cfg.max_steps * 60);
+    report.committed_uops += base_hw.stats.committed;
 
     for i in 0..cfg.inputs_per_program {
         // Mutate secrets only.
         let mut mutant = base.clone();
         randomize_secrets(&mut mutant, &mut rng);
-        let Some(mutant_trace) = seq_trace(&program, &mutant, &observer, cfg.max_steps) else {
+        let Some(mutant_trace) =
+            seq_trace(&program, &mutant, &observer, cfg.max_steps, &mut records)
+        else {
             continue;
         };
         if mutant_trace != base_trace {
@@ -264,11 +285,12 @@ fn fuzz_one_program(
             report.pairs_rejected += 1;
             continue;
         }
-        let mutant_hw = run_hw(&program, &mutant, cfg, policy_factory());
+        core.reset(&program, policy_factory(), &mutant);
+        core.record_traces(true);
+        let mutant_hw = core.run_mut(cfg.max_steps, cfg.max_steps * 60);
+        report.committed_uops += mutant_hw.stats.committed;
         report.tests += 2;
-        let obs_a = cfg.adversary.observe(&base_hw);
-        let obs_b = cfg.adversary.observe(&mutant_hw);
-        if obs_a != obs_b {
+        if cfg.adversary.observations_differ(&base_hw, &mutant_hw) {
             // Candidate violation; apply the false-positive filter.
             let fp = base_hw.committed_idxs != mutant_hw.committed_idxs;
             if fp {
@@ -317,26 +339,18 @@ fn randomize_secrets(state: &mut ArchState, rng: &mut Rng) {
 }
 
 /// Sequential (contract) trace; `None` if the program misbehaves.
+/// `records` is a caller-owned scratch buffer (cleared and refilled by
+/// the emulator) so repeated traces reuse one allocation.
 fn seq_trace(
     program: &Program,
     input: &ArchState,
     observer: &ObserverMode,
     max_steps: u64,
+    records: &mut Vec<ExecRecord>,
 ) -> Option<Vec<protean_arch::Obs>> {
     let mut emu = Emulator::new(program, input.clone());
-    let (status, records) = emu.run(max_steps);
-    (status == ExitStatus::Halted).then(|| observer.trace(&records))
-}
-
-fn run_hw(
-    program: &Program,
-    input: &ArchState,
-    cfg: &FuzzConfig,
-    policy: Box<dyn DefensePolicy>,
-) -> SimResult {
-    let mut core = Core::new(program, cfg.core.clone(), policy, input);
-    core.record_traces(true);
-    core.run(cfg.max_steps, cfg.max_steps * 60)
+    let status = emu.run_into(max_steps, records);
+    (status == ExitStatus::Halted).then(|| observer.trace(records))
 }
 
 /// Re-runs the leaking input with pipeline tracing enabled and renders

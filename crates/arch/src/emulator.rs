@@ -2,7 +2,9 @@
 //! the hardware-software security contracts (paper §II-C).
 
 use crate::{Memory, ProtState};
-use protean_isa::{alu_eval, div_eval, DivOutcome, Inst, Op, Operand, Program, Reg, Width};
+use protean_isa::{
+    alu_eval, div_eval, DivOutcome, InlineVec, Inst, Op, Operand, Program, Reg, Width,
+};
 
 /// Architectural machine state: registers plus memory.
 #[derive(Clone, Debug, Default)]
@@ -83,16 +85,17 @@ pub struct ExecRecord {
     /// Memory access, if any.
     pub mem: Option<MemAccess>,
     /// Individual address-register values (AMuLeT\* exposes these
-    /// separately, not just their sum).
-    pub addr_regs: Vec<(Reg, u64)>,
+    /// separately, not just their sum). At most base + index.
+    pub addr_regs: InlineVec<(Reg, u64), 2>,
     /// Branch outcome, if any.
     pub branch: Option<BranchInfo>,
     /// Division outcome and inputs, if any.
     pub div: Option<(u64, u64, DivOutcome)>,
     /// Registers written, their final values, and whether each is
     /// architecturally **protected** after this instruction (per the
-    /// ProtISA ProtSet semantics).
-    pub reg_writes: Vec<(Reg, u64, bool)>,
+    /// ProtISA ProtSet semantics). At most the explicit destination
+    /// plus the implicit `RFLAGS` write.
+    pub reg_writes: InlineVec<(Reg, u64, bool), 2>,
 }
 
 /// Why the emulator stopped.
@@ -169,10 +172,10 @@ impl<'a> Emulator<'a> {
             pc,
             inst,
             mem: None,
-            addr_regs: Vec::new(),
+            addr_regs: InlineVec::new(),
             branch: None,
             div: None,
-            reg_writes: Vec::new(),
+            reg_writes: InlineVec::new(),
         };
 
         let mut next = Some(idx + 1);
@@ -307,7 +310,6 @@ impl<'a> Emulator<'a> {
                 next = target;
                 if target.is_none() {
                     self.pc_idx = None;
-                    record.reg_writes.shrink_to_fit();
                     self.finish_prot(&inst, &record, store_data_prot);
                     return Some(record);
                 }
@@ -376,21 +378,30 @@ impl<'a> Emulator<'a> {
     /// Returns the exit status and all execution records.
     pub fn run(&mut self, max_steps: u64) -> (ExitStatus, Vec<ExecRecord>) {
         let mut records = Vec::new();
+        let status = self.run_into(max_steps, &mut records);
+        (status, records)
+    }
+
+    /// Like [`Emulator::run`], but fills a caller-owned record buffer
+    /// (cleared first), so loops that trace many runs — the fuzzer's
+    /// sequential contract traces — reuse one allocation instead of
+    /// regrowing a fresh `Vec` per run.
+    pub fn run_into(&mut self, max_steps: u64, records: &mut Vec<ExecRecord>) -> ExitStatus {
+        records.clear();
         loop {
             if self.pc_idx.is_none() {
                 let halted_on_halt = records
                     .last()
                     .map(|r: &ExecRecord| matches!(r.inst.op, Op::Halt))
                     .unwrap_or(false);
-                let status = if halted_on_halt {
+                return if halted_on_halt {
                     ExitStatus::Halted
                 } else {
                     ExitStatus::BadControlFlow
                 };
-                return (status, records);
             }
             if self.steps >= max_steps {
-                return (ExitStatus::StepLimit, records);
+                return ExitStatus::StepLimit;
             }
             match self.step() {
                 Some(r) => records.push(r),

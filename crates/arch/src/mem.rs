@@ -1,16 +1,29 @@
-//! Sparse byte-addressable memory.
+//! Sparse byte-addressable memory with copy-on-write pages.
+//!
+//! Pages are reference-counted (`Arc<[u8; 4096]>`), so cloning a
+//! [`Memory`] — which the fuzzer does once per (program, input) run —
+//! costs one refcount bump per page instead of a deep copy, and the
+//! clones diverge lazily: a write copies only the 4 KiB page it lands
+//! on (hand-rolled `Arc` make-mut, std only). The most recently
+//! written page is additionally kept *checked out* of the page table
+//! as a uniquely-owned handle, so streams of writes to one page (the
+//! common case for stack and secret-buffer initialisation) pay zero
+//! hash lookups and never touch the refcount.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 
+type Page = [u8; PAGE_SIZE];
+
 /// A sparse, zero-initialized, byte-addressable 64-bit memory.
 ///
 /// Pages are allocated lazily; reads of unmapped memory return zero
 /// (matching the fuzzing harness's architectural-fault suppression — no
-/// access ever faults).
+/// access ever faults). Clones share pages copy-on-write.
 ///
 /// # Examples
 ///
@@ -22,10 +35,20 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// assert_eq!(mem.read(0x1000, 8), 0xdead_beef);
 /// assert_eq!(mem.read(0x1004, 4), 0); // upper half
 /// assert_eq!(mem.read(0x9999, 8), 0); // unmapped reads as zero
+///
+/// let fork = mem.clone(); // O(pages), not O(bytes)
+/// let mut mem2 = fork.clone();
+/// mem2.write(0x1000, 1, 0xff); // copies only the touched page
+/// assert_eq!(mem.read(0x1000, 8), 0xdead_beef);
 /// ```
-#[derive(Clone, Default)]
+#[derive(Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: HashMap<u64, Arc<Page>>,
+    /// The page currently checked out for writing, keyed by page
+    /// number. Invariant: the key is absent from `pages` and the `Arc`
+    /// is uniquely owned (strong count 1, no weak refs), so writes hit
+    /// it in place with no hash lookup and no copy.
+    open: Option<(u64, Arc<Page>)>,
 }
 
 impl Memory {
@@ -34,9 +57,47 @@ impl Memory {
         Memory::default()
     }
 
+    /// The page holding `key`, if mapped.
+    #[inline]
+    fn page(&self, key: u64) -> Option<&Page> {
+        if let Some((k, p)) = &self.open {
+            if *k == key {
+                return Some(p);
+            }
+        }
+        self.pages.get(&key).map(|p| &**p)
+    }
+
+    /// Checks the page holding `key` out into the `open` slot (copying
+    /// it first if clones still share it) and returns it mutably.
+    fn open_page(&mut self, key: u64) -> &mut Page {
+        let hit = matches!(&self.open, Some((k, _)) if *k == key);
+        if !hit {
+            if let Some((k, p)) = self.open.take() {
+                self.pages.insert(k, p);
+            }
+            let arc = match self.pages.remove(&key) {
+                Some(mut arc) => {
+                    // Hand-rolled `Arc::make_mut`: a uniquely-owned page
+                    // is written in place; a page still shared with
+                    // other Memory clones is copied first.
+                    if Arc::get_mut(&mut arc).is_none() {
+                        arc = Arc::new(*arc);
+                    }
+                    arc
+                }
+                None => Arc::new([0; PAGE_SIZE]),
+            };
+            self.open = Some((key, arc));
+        }
+        let (_, arc) = self.open.as_mut().expect("open slot just filled");
+        Arc::get_mut(arc).expect("open page is uniquely owned")
+    }
+
     /// Reads one byte.
+    #[inline]
     pub fn read_u8(&self, addr: u64) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+        match self.page(addr >> PAGE_SHIFT) {
             Some(page) => page[(addr & PAGE_MASK) as usize],
             None => 0,
         }
@@ -44,11 +105,7 @@ impl Memory {
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
-        page[(addr & PAGE_MASK) as usize] = value;
+        self.open_page(addr >> PAGE_SHIFT)[(addr & PAGE_MASK) as usize] = value;
     }
 
     /// Reads `size` bytes (1–8) little-endian, zero-extended.
@@ -58,11 +115,25 @@ impl Memory {
     /// Panics if `size` is not in `1..=8`.
     pub fn read(&self, addr: u64, size: u64) -> u64 {
         assert!((1..=8).contains(&size), "bad access size {size}");
-        let mut value = 0u64;
-        for i in 0..size {
-            value |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        let offset = (addr & PAGE_MASK) as usize;
+        if offset + size as usize <= PAGE_SIZE {
+            // Fast path: the access stays inside one page — a single
+            // page-table lookup for all `size` bytes.
+            let Some(page) = self.page(addr >> PAGE_SHIFT) else {
+                return 0;
+            };
+            let mut value = 0u64;
+            for (i, b) in page[offset..offset + size as usize].iter().enumerate() {
+                value |= (*b as u64) << (8 * i);
+            }
+            value
+        } else {
+            let mut value = 0u64;
+            for i in 0..size {
+                value |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+            }
+            value
         }
-        value
     }
 
     /// Writes the low `size` bytes (1–8) of `value` little-endian.
@@ -72,15 +143,31 @@ impl Memory {
     /// Panics if `size` is not in `1..=8`.
     pub fn write(&mut self, addr: u64, size: u64, value: u64) {
         assert!((1..=8).contains(&size), "bad access size {size}");
-        for i in 0..size {
-            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        let offset = (addr & PAGE_MASK) as usize;
+        if offset + size as usize <= PAGE_SIZE {
+            // Fast path: single page, single lookup.
+            let page = self.open_page(addr >> PAGE_SHIFT);
+            for (i, b) in page[offset..offset + size as usize].iter_mut().enumerate() {
+                *b = (value >> (8 * i)) as u8;
+            }
+        } else {
+            for i in 0..size {
+                self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+            }
         }
     }
 
     /// Copies a byte slice into memory at `addr`.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        for (i, b) in bytes.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u64), *b);
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let offset = (addr & PAGE_MASK) as usize;
+            let n = rest.len().min(PAGE_SIZE - offset);
+            let page = self.open_page(addr >> PAGE_SHIFT);
+            page[offset..offset + n].copy_from_slice(&rest[..n]);
+            addr = addr.wrapping_add(n as u64);
+            rest = &rest[n..];
         }
     }
 
@@ -93,14 +180,37 @@ impl Memory {
 
     /// Number of mapped pages (for diagnostics).
     pub fn mapped_pages(&self) -> usize {
-        self.pages.len()
+        self.pages.len() + usize::from(self.open.is_some())
+    }
+}
+
+impl Clone for Memory {
+    /// O(pages) — shares every page with `self` copy-on-write. The
+    /// clone's copy of the open page is freshly owned so `self` keeps
+    /// its uniquely-owned write handle.
+    fn clone(&self) -> Memory {
+        let mut pages = self.pages.clone();
+        if let Some((k, p)) = &self.open {
+            pages.insert(*k, Arc::new(**p));
+        }
+        Memory { pages, open: None }
+    }
+
+    /// Reuses the destination's page-table allocation (the arena reset
+    /// path: `core.mem.clone_from(&input.mem)` once per fuzz run).
+    fn clone_from(&mut self, source: &Memory) {
+        self.open = None;
+        self.pages.clone_from(&source.pages);
+        if let Some((k, p)) = &source.open {
+            self.pages.insert(*k, Arc::new(**p));
+        }
     }
 }
 
 impl std::fmt::Debug for Memory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Memory")
-            .field("mapped_pages", &self.pages.len())
+            .field("mapped_pages", &self.mapped_pages())
             .finish()
     }
 }
@@ -128,6 +238,27 @@ mod tests {
     }
 
     #[test]
+    fn page_boundary_straddle_regression() {
+        // Every split of an 8-byte access across the page boundary, for
+        // both the write and the read path (the non-crossing fast path
+        // must not be taken for any of these).
+        for first in 1..8u64 {
+            let addr = 0x2000 - first;
+            let mut m = Memory::new();
+            m.write(addr, 8, 0xa1b2_c3d4_e5f6_0718);
+            assert_eq!(m.read(addr, 8), 0xa1b2_c3d4_e5f6_0718, "split {first}");
+            // Byte-wise view agrees with the multi-byte view.
+            for i in 0..8 {
+                assert_eq!(
+                    m.read_u8(addr + i),
+                    (0xa1b2_c3d4_e5f6_0718u64 >> (8 * i)) as u8
+                );
+            }
+            assert_eq!(m.mapped_pages(), 2);
+        }
+    }
+
+    #[test]
     fn unmapped_reads_zero() {
         let m = Memory::new();
         assert_eq!(m.read(0xdead_beef, 8), 0);
@@ -152,5 +283,53 @@ mod tests {
         let mut m = Memory::new();
         m.write_bytes(0x200, &[1, 2, 3]);
         assert_eq!(m.read_bytes(0x200, 4), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn bytes_interface_across_pages() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..=255).cycle().take(PAGE_SIZE + 64).collect();
+        m.write_bytes(0xff0, &data);
+        assert_eq!(m.read_bytes(0xff0, data.len()), data);
+    }
+
+    #[test]
+    fn clones_diverge_copy_on_write() {
+        let mut a = Memory::new();
+        a.write(0x1000, 8, 111);
+        a.write(0x5000, 8, 222);
+        let mut b = a.clone();
+        b.write(0x1000, 8, 999);
+        a.write(0x5000, 8, 333);
+        assert_eq!(a.read(0x1000, 8), 111);
+        assert_eq!(a.read(0x5000, 8), 333);
+        assert_eq!(b.read(0x1000, 8), 999);
+        assert_eq!(b.read(0x5000, 8), 222);
+    }
+
+    #[test]
+    fn clone_from_reuses_and_matches() {
+        let mut src = Memory::new();
+        src.write(0x1000, 8, 42);
+        src.write(0x8000, 4, 7);
+        let mut dst = Memory::new();
+        dst.write(0x9000, 8, u64::MAX); // stale state must vanish
+        dst.clone_from(&src);
+        assert_eq!(dst.read(0x1000, 8), 42);
+        assert_eq!(dst.read(0x8000, 4), 7);
+        assert_eq!(dst.read(0x9000, 8), 0);
+        assert_eq!(dst.mapped_pages(), src.mapped_pages());
+    }
+
+    #[test]
+    fn open_page_survives_interleaved_clone() {
+        let mut a = Memory::new();
+        a.write(0x1000, 8, 5); // 0x1 becomes the open page
+        let b = a.clone();
+        a.write(0x1008, 8, 6); // must not leak into b
+        assert_eq!(b.read(0x1008, 8), 0);
+        assert_eq!(a.read(0x1008, 8), 6);
+        assert_eq!(a.read(0x1000, 8), 5);
+        assert_eq!(b.read(0x1000, 8), 5);
     }
 }

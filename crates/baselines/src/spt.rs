@@ -198,7 +198,7 @@ impl DefensePolicy for SptPolicy {
         // backwards" is why SPT keeps stalling on pointer-shaped data
         // that ProtCC unprotects statically (§IX-B2, §IX-B3).
         if self.xmit.is_transmitter(&u.inst) {
-            for p in sensitive_phys(u, &self.xmit) {
+            for &p in sensitive_phys(u, &self.xmit).iter() {
                 tags.taint[p] = false;
             }
         }

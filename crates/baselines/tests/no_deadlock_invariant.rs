@@ -25,8 +25,8 @@ fn worst_case_uop(seq: u64) -> DynInst {
             addr: Mem::base(Reg::R0),
             size: Width::W64,
         }),
-        srcs: vec![(Reg::R0, 17)],
-        dsts: Vec::new(),
+        srcs: [(Reg::R0, 17)].into_iter().collect(),
+        dsts: Default::default(),
         status: UopStatus::Done,
         mem: Some(MemState {
             addr: Some(0x1000),
@@ -49,7 +49,7 @@ fn worst_case_uop(seq: u64) -> DynInst {
         resolved: false,
         wakeup_done: false,
         hist_snapshot: 0,
-        rsb_snapshot: Vec::new(),
+        rsb_snapshot: [].into(),
         prot_out: true,
         src_prot: true,
         sens_prot: true,

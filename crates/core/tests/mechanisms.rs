@@ -174,8 +174,8 @@ fn protean_policies_never_block_at_the_head() {
             addr: Mem::base(Reg::R0),
             size: Width::W64,
         }),
-        srcs: vec![(Reg::R0, 17)],
-        dsts: Vec::new(),
+        srcs: [(Reg::R0, 17)].into_iter().collect(),
+        dsts: Default::default(),
         status: UopStatus::Done,
         mem: Some(MemState {
             addr: Some(0x1000),
@@ -198,7 +198,7 @@ fn protean_policies_never_block_at_the_head() {
         resolved: false,
         wakeup_done: false,
         hist_snapshot: 0,
-        rsb_snapshot: Vec::new(),
+        rsb_snapshot: [].into(),
         prot_out: true,
         src_prot: true,
         sens_prot: true,

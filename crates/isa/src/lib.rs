@@ -59,6 +59,7 @@ mod metadata;
 mod program;
 mod reg;
 mod semantics;
+mod util;
 
 pub use asm::{assemble, AsmError};
 pub use builder::{Label, ProgramBuilder, UnboundLabelError};
@@ -72,3 +73,4 @@ pub use reg::{Reg, RegSet};
 pub use semantics::{
     alu_eval, div_eval, div_latency, div_leakage, DivOutcome, DIV_BASE_LATENCY, DIV_FAULT_LATENCY,
 };
+pub use util::InlineVec;

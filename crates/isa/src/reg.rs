@@ -24,7 +24,7 @@ use core::fmt;
 /// assert!(Reg::RSP.is_stack_pointer());
 /// assert_eq!(Reg::COUNT, 17);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Reg(u8);
 
 impl Reg {

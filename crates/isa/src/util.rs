@@ -1,0 +1,197 @@
+//! Small shared utilities with zero dependencies.
+
+/// A fixed-capacity inline vector: up to `N` elements stored directly
+/// in the struct, no heap allocation ever.
+///
+/// Replaces the per-µop `Vec`s on hot simulator paths (a µop has at
+/// most a handful of source/destination operands), where the
+/// allocator — not the elements — dominated the cost. `T: Copy +
+/// Default` keeps the implementation safe-Rust-only: unused slots hold
+/// `T::default()` and are never observable.
+///
+/// # Examples
+///
+/// ```
+/// use protean_isa::InlineVec;
+///
+/// let mut v: InlineVec<u32, 4> = InlineVec::new();
+/// v.push(7);
+/// v.push(9);
+/// assert_eq!(v.len(), 2);
+/// assert_eq!(v[1], 9);
+/// assert_eq!(v.iter().sum::<u32>(), 16);
+/// ```
+#[derive(Clone, Copy)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    len: u8,
+    buf: [T; N],
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector.
+    pub fn new() -> InlineVec<T, N> {
+        const { assert!(N <= u8::MAX as usize) };
+        InlineVec {
+            len: 0,
+            buf: [T::default(); N],
+        }
+    }
+
+    /// Appends an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector already holds `N` elements — capacities are
+    /// sized to the ISA's operand maxima, so overflow is a bug, not a
+    /// growth event.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        self.buf[self.len as usize] = value;
+        self.len += 1;
+    }
+
+    /// Removes all elements.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> InlineVec<T, N> {
+        InlineVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::DerefMut for InlineVec<T, N> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.buf[..self.len as usize]
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_ref().iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> AsRef<[T]> for InlineVec<T, N> {
+    fn as_ref(&self) -> &[T] {
+        self
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> InlineVec<T, N> {
+        let mut v = InlineVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &InlineVec<T, N>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<[T]> for InlineVec<T, N> {
+    fn eq(&self, other: &[T]) -> bool {
+        self[..] == *other
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const M: usize, const N: usize> PartialEq<[T; M]>
+    for InlineVec<T, N>
+{
+    fn eq(&self, other: &[T; M]) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<Vec<T>> for InlineVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<T: Copy + Default + std::fmt::Debug, const N: usize> std::fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_index_iterate() {
+        let mut v: InlineVec<u64, 3> = InlineVec::new();
+        assert!(v.is_empty());
+        v.push(1);
+        v.push(2);
+        v.push(3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0], 1);
+        assert_eq!(v.last(), Some(&3));
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflow_panics() {
+        let mut v: InlineVec<u8, 2> = InlineVec::new();
+        v.push(1);
+        v.push(2);
+        v.push(3);
+    }
+
+    #[test]
+    fn equality_and_clear() {
+        let mut a: InlineVec<u8, 4> = [1, 2].into_iter().collect();
+        let b: InlineVec<u8, 4> = [1, 2].into_iter().collect();
+        assert_eq!(a, b);
+        assert_eq!(a, [1u8, 2]);
+        assert_eq!(a, vec![1u8, 2]);
+        a.clear();
+        assert!(a.is_empty());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unused_slots_not_compared() {
+        let mut a: InlineVec<u8, 4> = InlineVec::new();
+        let mut b: InlineVec<u8, 4> = InlineVec::new();
+        a.push(9);
+        a.clear();
+        b.push(1);
+        a.push(1);
+        assert_eq!(a, b); // stale slot contents are unobservable
+    }
+
+    #[test]
+    fn mutation_through_deref_mut() {
+        let mut v: InlineVec<u32, 4> = [5, 6].into_iter().collect();
+        v[0] = 50;
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(v, [50u32, 6]);
+    }
+}

@@ -2,6 +2,8 @@
 //! buffer, and a return stack buffer (paper Tab. III: 4K-entry BTB,
 //! 16-entry RSB, TAGE).
 
+use std::sync::Arc;
+
 /// A tagged geometric-history direction predictor ("TAGE-lite"): a
 /// bimodal base table plus three tagged tables with geometrically
 /// increasing history lengths (4/16/64 bits).
@@ -144,6 +146,16 @@ impl TagePredictor {
         self.history = (self.history << 1) | taken as u64;
     }
 
+    /// Restores the freshly-constructed state without reallocating the
+    /// tables (the `Core::reset` arena path).
+    pub fn reset(&mut self) {
+        self.base.fill(1);
+        for table in &mut self.tables {
+            table.fill(TageEntry::default());
+        }
+        self.history = 0;
+    }
+
     /// Snapshot of the global history (for squash recovery).
     pub fn history(&self) -> u64 {
         self.history
@@ -190,6 +202,11 @@ impl Btb {
     pub fn update(&mut self, pc: u64, target: u64) {
         self.entries[((pc >> 2) & self.mask) as usize] = Some((pc, target));
     }
+
+    /// Empties the BTB in place (the `Core::reset` arena path).
+    pub fn reset(&mut self) {
+        self.entries.fill(None);
+    }
 }
 
 /// A return stack buffer (circular, drops on overflow like real RSBs —
@@ -205,6 +222,11 @@ pub struct Rsb {
     /// Number of live entries (`<= capacity`).
     len: usize,
     capacity: usize,
+    /// Interned snapshot of the current contents, shared by every
+    /// in-flight µop fetched until the next push/pop/restore. Fetch
+    /// takes one snapshot per µop; straight-line code between calls
+    /// and returns reuses this `Arc` instead of cloning a `Vec`.
+    cached: Option<Arc<[u64]>>,
 }
 
 impl Rsb {
@@ -215,6 +237,7 @@ impl Rsb {
             start: 0,
             len: 0,
             capacity,
+            cached: None,
         }
     }
 
@@ -223,6 +246,7 @@ impl Rsb {
         if self.capacity == 0 {
             return;
         }
+        self.cached = None;
         if self.len == self.capacity {
             // Overwrite the oldest: the slot at `start` becomes the
             // newest and the next-oldest becomes the new start.
@@ -239,6 +263,7 @@ impl Rsb {
         if self.len == 0 {
             return None;
         }
+        self.cached = None;
         self.len -= 1;
         Some(self.buf[(self.start + self.len) % self.capacity])
     }
@@ -250,12 +275,34 @@ impl Rsb {
             .collect()
     }
 
-    /// Restores a snapshot (as produced by [`Rsb::snapshot`]).
-    pub fn restore(&mut self, snapshot: Vec<u64>) {
+    /// Like [`Rsb::snapshot`], but interned: the returned `Arc` is
+    /// cached and reused until the contents next change, so per-µop
+    /// snapshotting on the fetch path is a refcount bump, not an
+    /// allocation.
+    pub fn snapshot_shared(&mut self) -> Arc<[u64]> {
+        if let Some(s) = &self.cached {
+            return Arc::clone(s);
+        }
+        let s: Arc<[u64]> = self.snapshot().into();
+        self.cached = Some(Arc::clone(&s));
+        s
+    }
+
+    /// Restores a snapshot (as produced by [`Rsb::snapshot`] or
+    /// [`Rsb::snapshot_shared`]).
+    pub fn restore(&mut self, snapshot: &[u64]) {
         debug_assert!(snapshot.len() <= self.capacity);
+        self.cached = None;
         self.len = snapshot.len().min(self.capacity);
         self.start = 0;
         self.buf[..self.len].copy_from_slice(&snapshot[..self.len]);
+    }
+
+    /// Empties the RSB in place (the `Core::reset` arena path).
+    pub fn reset(&mut self) {
+        self.start = 0;
+        self.len = 0;
+        self.cached = None;
     }
 }
 
@@ -401,7 +448,24 @@ mod tests {
         rsb.push(7);
         let snap = rsb.snapshot();
         rsb.pop();
-        rsb.restore(snap);
+        rsb.restore(&snap);
+        assert_eq!(rsb.pop(), Some(7));
+    }
+
+    #[test]
+    fn rsb_shared_snapshot_interns_until_mutation() {
+        let mut rsb = Rsb::new(4);
+        rsb.push(7);
+        let a = rsb.snapshot_shared();
+        let b = rsb.snapshot_shared();
+        assert!(Arc::ptr_eq(&a, &b), "unchanged RSB must reuse the Arc");
+        assert_eq!(&*a, &[7]);
+        rsb.push(9);
+        let c = rsb.snapshot_shared();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(&*c, &[7, 9]);
+        rsb.restore(&a);
+        assert_eq!(rsb.snapshot(), vec![7]);
         assert_eq!(rsb.pop(), Some(7));
     }
 
@@ -429,7 +493,7 @@ mod tests {
         for v in 20..=25 {
             rsb.push(v);
         }
-        rsb.restore(vec![1, 2]);
+        rsb.restore(&[1, 2]);
         assert_eq!(rsb.pop(), Some(2));
         assert_eq!(rsb.pop(), Some(1));
         assert_eq!(rsb.pop(), None);
@@ -441,6 +505,29 @@ mod tests {
         rsb.push(1);
         assert_eq!(rsb.pop(), None);
         assert_eq!(rsb.snapshot(), Vec::<u64>::new());
-        rsb.restore(Vec::new());
+        rsb.restore(&[]);
+    }
+
+    #[test]
+    fn predictor_resets_to_fresh_state() {
+        let mut p = TagePredictor::new();
+        for _ in 0..100 {
+            let pred = p.predict(0x1000);
+            p.update(0x1000, pred, true);
+        }
+        assert!(p.predict(0x1000));
+        p.reset();
+        assert!(!p.predict(0x1000), "reset must forget learned bias");
+        assert_eq!(p.history(), 0);
+
+        let mut btb = Btb::new(16);
+        btb.update(0x40, 0x80);
+        btb.reset();
+        assert_eq!(btb.lookup(0x40), None);
+
+        let mut rsb = Rsb::new(2);
+        rsb.push(5);
+        rsb.reset();
+        assert_eq!(rsb.pop(), None);
     }
 }

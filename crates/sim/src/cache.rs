@@ -80,6 +80,22 @@ impl Cache {
         }
     }
 
+    /// Empties the cache in place, reusing the line and metadata
+    /// allocations (the `Core::reset` arena path). `meta_fill` may
+    /// change because it is policy-derived and the arena is reused
+    /// across policies.
+    pub fn reset(&mut self, meta_fill: bool) {
+        for line in &mut self.lines {
+            line.tag = None;
+            line.lru = 0;
+            line.meta.fill(meta_fill);
+        }
+        self.meta_fill = meta_fill;
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+
     /// The ways of set `idx`, in way order.
     fn set(&self, idx: usize) -> &[Line] {
         let base = idx * self.cfg.ways;

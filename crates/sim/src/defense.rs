@@ -52,6 +52,18 @@ impl RegTags {
         }
         tags
     }
+
+    /// Restores the freshly-constructed state in place (the
+    /// `Core::reset` arena path).
+    pub fn reset(&mut self, arch_regs: usize) {
+        self.prot.fill(false);
+        self.taint.fill(false);
+        self.yrot.fill(NO_ROOT);
+        for i in 0..arch_regs {
+            self.prot[i] = true;
+            self.taint[i] = true;
+        }
+    }
 }
 
 /// The speculation frontier: which sequence numbers are still speculative
@@ -245,8 +257,9 @@ pub fn propagate_tags(u: &mut DynInst, tags: &mut RegTags) {
 }
 
 /// Physical registers of `u`'s *sensitive* operands under transmitter set
-/// `t` (the registers whose values the µop transmits).
-pub fn sensitive_phys(u: &DynInst, t: &TransmitterSet) -> Vec<usize> {
+/// `t` (the registers whose values the µop transmits). Allocation-free:
+/// a µop has at most a handful of sources, so the result is inline.
+pub fn sensitive_phys(u: &DynInst, t: &TransmitterSet) -> protean_isa::InlineVec<usize, 4> {
     let sens = t.sensitive_regs(&u.inst);
     u.srcs
         .iter()
@@ -264,14 +277,14 @@ pub fn sensitive_root_tainted(
     fr: &SpecFrontier,
 ) -> bool {
     sensitive_phys(u, t)
-        .into_iter()
-        .any(|p| fr.root_speculative(tags.yrot[p]))
+        .iter()
+        .any(|&p| fr.root_speculative(tags.yrot[p]))
 }
 
 /// Whether any sensitive operand of `u` is tainted under SPT-style value
 /// taint.
 pub fn sensitive_value_tainted(u: &DynInst, t: &TransmitterSet, tags: &RegTags) -> bool {
-    sensitive_phys(u, t).into_iter().any(|p| tags.taint[p])
+    sensitive_phys(u, t).iter().any(|&p| tags.taint[p])
 }
 
 /// The unsafe baseline: the unmodified out-of-order core.

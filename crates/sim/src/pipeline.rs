@@ -18,11 +18,12 @@ use crate::trace::{Trace, Tracer};
 use crate::{Btb, Rsb, TagePredictor};
 use crate::{Cache, CoreConfig, MemProtTracking, Stats};
 use protean_arch::{ArchState, Memory};
-use protean_isa::{alu_eval, div_eval, Flags, Inst, Op, Operand, Program, Reg, Width};
+use protean_isa::{alu_eval, div_eval, Flags, InlineVec, Inst, Op, Operand, Program, Reg, Width};
 use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
 
 /// Per-destination rename bookkeeping.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct DstInfo {
     /// Architectural register written.
     pub arch: Reg,
@@ -77,7 +78,14 @@ pub enum UopStatus {
 }
 
 /// An in-flight µop: the unit all [`DefensePolicy`] hooks operate on.
+///
+/// `repr(C)` pins the declaration order: the load/store disambiguation
+/// scans (`execute_load` / `execute_store`) walk the whole ROB touching
+/// only `seq`, `inst`, and `mem`, so those lead the struct and the
+/// bulky inline arrays (`srcs`, `dsts`, stage timing) trail it — a scan
+/// reads the first couple of cache lines of each entry, never the tail.
 #[derive(Clone, Debug)]
+#[repr(C)]
 pub struct DynInst {
     /// Global sequence number (1-based; age order).
     pub seq: Seq,
@@ -87,14 +95,10 @@ pub struct DynInst {
     pub pc: u64,
     /// The instruction.
     pub inst: Inst,
-    /// Renamed sources: (architectural, physical).
-    pub srcs: Vec<(Reg, usize)>,
-    /// Renamed destinations.
-    pub dsts: Vec<DstInfo>,
-    /// Lifecycle status.
-    pub status: UopStatus,
     /// Memory state for loads/stores.
     pub mem: Option<MemState>,
+    /// Lifecycle status.
+    pub status: UopStatus,
     /// Predicted next instruction index (branches; `None` = predicted
     /// stop).
     pub pred_next: Option<u32>,
@@ -112,8 +116,10 @@ pub struct DynInst {
     pub wakeup_done: bool,
     /// TAGE global-history snapshot from before this µop's fetch.
     pub hist_snapshot: u64,
-    /// RSB snapshot from before this µop's fetch.
-    pub rsb_snapshot: Vec<u64>,
+    /// RSB snapshot from before this µop's fetch. Interned by the RSB
+    /// ([`Rsb::snapshot_shared`]) so every µop fetched between two RSB
+    /// mutations shares one allocation.
+    pub rsb_snapshot: Arc<[u64]>,
 
     // ---- Defense-generic state --------------------------------------
     /// `PROT` prefix: output registers are architecturally protected.
@@ -152,6 +158,14 @@ pub struct DynInst {
     pub issue_cycle: u64,
     /// Cycle completed.
     pub complete_cycle: u64,
+
+    // ---- Bulky inline storage, kept at the tail (see struct docs) ----
+    /// Renamed sources: (architectural, physical). Inline storage: no
+    /// instruction names more than three source registers.
+    pub srcs: InlineVec<(Reg, usize), 3>,
+    /// Renamed destinations. At most two: the explicit destination plus
+    /// the implicit `RFLAGS` write.
+    pub dsts: InlineVec<DstInfo, 2>,
 }
 
 impl DynInst {
@@ -192,7 +206,7 @@ struct FetchEntry {
     pred_next: Option<u32>,
     pred_taken: bool,
     hist_snapshot: u64,
-    rsb_snapshot: Vec<u64>,
+    rsb_snapshot: Arc<[u64]>,
     ready_cycle: u64,
 }
 
@@ -304,6 +318,10 @@ pub struct Core<'a> {
     timing: Vec<[u64; 6]>,
     committed_idxs: Vec<u32>,
     record_traces: bool,
+    /// Whether µop-level tracing is enabled ([`CoreConfig::trace`] or
+    /// `PROTEAN_TRACE`), read once at construction so [`Core::reset`]
+    /// never re-reads the environment.
+    trace_on: bool,
     /// `Some` only when µop-level tracing is enabled ([`CoreConfig::trace`]
     /// or `PROTEAN_TRACE`): every event site is one `Option` check when off.
     tracer: Option<Box<Tracer>>,
@@ -326,35 +344,23 @@ impl<'a> Core<'a> {
         initial: &ArchState,
     ) -> Core<'a> {
         let n_phys = cfg.phys_regs.max(Reg::COUNT * 2);
-        let mut prf_value = vec![0u64; n_phys];
-        let mut rename_map = [0usize; Reg::COUNT];
-        for r in Reg::all() {
-            rename_map[r.index()] = r.index();
-            prf_value[r.index()] = initial.reg(r);
-        }
         let meta_fill = policy.l1d_meta_fill();
-        let l1d = Cache::new(cfg.l1d, meta_fill);
-        let l1i = Cache::new(cfg.l1i, true);
-        let l2 = Cache::new(cfg.l2, true);
-        let l3 = Cache::new(cfg.l3, true);
-        let tags = RegTags::new(n_phys, Reg::COUNT);
         let trace_on = cfg.trace || std::env::var("PROTEAN_TRACE").is_ok_and(|v| v.trim() != "0");
-        let tracer = trace_on.then(|| Box::new(Tracer::new(policy.name())));
-        Core {
-            fetch_idx: if program.is_empty() { None } else { Some(0) },
+        let mut core = Core {
+            fetch_idx: None,
             fetch_queue: VecDeque::new(),
             fetch_stalled_until: 0,
             tage: TagePredictor::new(),
             btb: Btb::new(cfg.btb_entries),
             rsb: Rsb::new(cfg.rsb_entries),
-            rename_map,
+            rename_map: [0usize; Reg::COUNT],
             prot_map: [true; Reg::COUNT],
-            free_list: (Reg::COUNT..n_phys).collect(),
+            free_list: VecDeque::with_capacity(n_phys),
             rob: VecDeque::with_capacity(cfg.rob_size),
             prf_done: vec![true; n_phys],
             prf_ready: vec![true; n_phys],
-            prf_value,
-            tags,
+            prf_value: vec![0u64; n_phys],
+            tags: RegTags::new(n_phys, Reg::COUNT),
             lq_used: 0,
             sq_used: 0,
             div_busy_until: 0,
@@ -362,18 +368,19 @@ impl<'a> Core<'a> {
             cached_frontier: None,
             exec_blocked: Vec::new(),
             completions: Vec::new(),
-            mem: initial.mem.clone(),
-            l1d,
-            l1i,
-            l2,
-            l3,
+            mem: Memory::default(),
+            l1d: Cache::new(cfg.l1d, meta_fill),
+            l1i: Cache::new(cfg.l1i, true),
+            l2: Cache::new(cfg.l2, true),
+            l3: Cache::new(cfg.l3, true),
             shadow_unprot: BTreeSet::new(),
             stats: Stats::default(),
-            committed_regs: std::array::from_fn(|i| initial.regs[i]),
+            committed_regs: [0u64; Reg::COUNT],
             timing: Vec::new(),
             committed_idxs: Vec::new(),
             record_traces: false,
-            tracer,
+            trace_on,
+            tracer: None,
             cycle: 0,
             next_seq: 1,
             halted: None,
@@ -383,7 +390,88 @@ impl<'a> Core<'a> {
             no_commit_cycles: 0,
             debug_blocked: std::env::var_os("PROTEAN_DEBUG_BLOCKED").is_some(),
             sim_debug: std::env::var_os("PROTEAN_SIM_DEBUG").is_some_and(|v| v == "1"),
+        };
+        core.reinit(initial);
+        core
+    }
+
+    /// Rearms this core to run `program` from `initial` state under
+    /// `policy`, reusing every backing allocation (ROB, register file,
+    /// caches, predictors, scheduler, scratch buffers).
+    ///
+    /// Equivalent to building a fresh core with [`Core::new`] under the
+    /// same `CoreConfig`: every piece of state `new` initialises is
+    /// re-initialised here, so a reset core produces byte-identical
+    /// [`SimResult`]s (asserted by the `core_reset` integration test).
+    /// The core configuration is fixed at construction; campaign arenas
+    /// key reuse on the config staying the same.
+    pub fn reset(
+        &mut self,
+        program: &'a Program,
+        policy: Box<dyn DefensePolicy>,
+        initial: &ArchState,
+    ) {
+        self.program = program;
+        self.policy = policy;
+        self.reinit(initial);
+    }
+
+    /// State (re-)initialisation shared by [`Core::new`] and
+    /// [`Core::reset`]: everything `self.cfg`-sized is assumed allocated;
+    /// all mutable simulation state is rebuilt from `initial` and
+    /// `self.policy`/`self.program`.
+    fn reinit(&mut self, initial: &ArchState) {
+        let n_phys = self.prf_value.len();
+        self.cycle = 0;
+        self.next_seq = 1;
+        self.halted = None;
+        self.fetch_idx = if self.program.is_empty() {
+            None
+        } else {
+            Some(0)
+        };
+        self.fetch_queue.clear();
+        self.fetch_stalled_until = 0;
+        self.tage.reset();
+        self.btb.reset();
+        self.rsb.reset();
+        for r in Reg::all() {
+            self.rename_map[r.index()] = r.index();
         }
+        self.prot_map = [true; Reg::COUNT];
+        self.free_list.clear();
+        self.free_list.extend(Reg::COUNT..n_phys);
+        self.rob.clear();
+        self.prf_value.fill(0);
+        for r in Reg::all() {
+            self.prf_value[r.index()] = initial.reg(r);
+        }
+        self.prf_done.fill(true);
+        self.prf_ready.fill(true);
+        self.tags.reset(Reg::COUNT);
+        self.lq_used = 0;
+        self.sq_used = 0;
+        self.div_busy_until = 0;
+        self.sched.reset();
+        self.cached_frontier = None;
+        self.exec_blocked.clear();
+        self.completions.clear();
+        self.mem.clone_from(&initial.mem);
+        let meta_fill = self.policy.l1d_meta_fill();
+        self.l1d.reset(meta_fill);
+        self.l1i.reset(true);
+        self.l2.reset(true);
+        self.l3.reset(true);
+        self.shadow_unprot.clear();
+        self.stats = Stats::default();
+        self.committed_regs = initial.regs;
+        self.timing.clear();
+        self.committed_idxs.clear();
+        self.record_traces = false;
+        self.tracer = self
+            .trace_on
+            .then(|| Box::new(Tracer::new(self.policy.name())));
+        self.no_commit_cycles = 0;
     }
 
     /// Enables recording of the commit-timing trace and committed-index
@@ -416,6 +504,14 @@ impl<'a> Core<'a> {
 
     /// Runs until halt or a limit; returns the result.
     pub fn run(mut self, max_insts: u64, max_cycles: u64) -> SimResult {
+        self.run_inner(max_insts, max_cycles)
+    }
+
+    /// Runs without consuming the core, so an arena core can be
+    /// [`reset`](Core::reset) and reused for the next program. The core
+    /// must be freshly constructed or reset; running twice without a
+    /// reset would continue from the halted state.
+    pub fn run_mut(&mut self, max_insts: u64, max_cycles: u64) -> SimResult {
         self.run_inner(max_insts, max_cycles)
     }
 
@@ -933,7 +1029,7 @@ impl<'a> Core<'a> {
         // Restore the front end to the branch's pre-fetch state, then
         // re-apply its *actual* effect.
         self.tage.restore_history(hist);
-        self.rsb.restore(rsb_snap);
+        self.rsb.restore(&rsb_snap);
         match inst.op {
             Op::Jcc { .. } => {
                 let h = self.tage.history();
@@ -1003,7 +1099,7 @@ impl<'a> Core<'a> {
         self.squash_younger_than(surviving, kind);
         if let Some((h, r)) = snap {
             self.tage.restore_history(h);
-            self.rsb.restore(r);
+            self.rsb.restore(&r);
         }
         self.fetch_idx = refetch;
         self.fetch_queue.clear();
@@ -1047,10 +1143,12 @@ impl<'a> Core<'a> {
             if u.is_load() {
                 self.lq_used -= 1;
                 self.stats.loads += 1;
+                self.sched.inflight_loads.remove(&u.seq);
             }
             if u.is_store() {
                 self.sq_used -= 1;
                 self.stats.stores += 1;
+                self.sched.inflight_stores.remove(&u.seq);
             }
             if u.inst.is_cond_branch() || u.inst.is_indirect_branch() {
                 self.stats.branches += 1;
@@ -1297,7 +1395,7 @@ impl<'a> Core<'a> {
         let u = &self.rob[i];
         let inst = u.inst;
         let mut latency = 1u32;
-        let mut dst_values: Vec<u64> = Vec::with_capacity(u.dsts.len());
+        let mut dst_values: InlineVec<u64, 2> = InlineVec::new();
         let mut actual_next: Option<Option<u32>> = None;
         let mut actual_taken = false;
         let mut div_fault = false;
@@ -1411,7 +1509,7 @@ impl<'a> Core<'a> {
         u.status = UopStatus::Executing(cycle + latency as u64);
         u.issue_cycle = cycle;
         u.div_fault = div_fault;
-        for (d, v) in u.dsts.iter_mut().zip(dst_values) {
+        for (d, v) in u.dsts.iter_mut().zip(dst_values.iter().copied()) {
             d.value = v;
         }
         let mut newly_resolved = false;
@@ -1443,13 +1541,16 @@ impl<'a> Core<'a> {
     /// ready).
     fn execute_load(&mut self, i: usize, addr: u64, size: u64, cycle: u64) -> bool {
         let seq = self.rob[i].seq;
-        // Search older stores, youngest first.
+        // Search older stores, youngest first. Walking the in-flight
+        // store set visits exactly the stores the old full-ROB scan
+        // found at positions `(0..i).rev()`: sequence numbers are
+        // assigned in ROB order, so set order equals position order.
         let mut fwd: Option<(u64, bool, Seq, bool, Seq)> = None;
-        for j in (0..i).rev() {
+        for &s_seq in self.sched.inflight_stores.range(..seq).rev() {
+            let j = self
+                .rob_index(s_seq)
+                .expect("in-flight store set entry is in the ROB");
             let s = &self.rob[j];
-            if !s.is_store() || s.seq >= seq {
-                continue;
-            }
             let Some(m) = &s.mem else { continue };
             let Some(s_addr) = m.addr else { continue }; // unknown addr: speculate past
                                                          // Widen to u128: fuzzer-generated addresses reach u64::MAX,
@@ -1556,12 +1657,14 @@ impl<'a> Core<'a> {
     ) -> bool {
         let seq = self.rob[i].seq;
         // Memory-order violation: any younger load that already executed
-        // and overlaps (and did not forward from this or a younger store).
-        for j in i + 1..self.rob.len() {
+        // and overlaps (and did not forward from this or a younger
+        // store). The in-flight load set replaces the old scan over ROB
+        // positions `i + 1..` — same µops, same (age) order.
+        for &l_seq in self.sched.inflight_loads.range(seq + 1..) {
+            let j = self
+                .rob_index(l_seq)
+                .expect("in-flight load set entry is in the ROB");
             let l = &self.rob[j];
-            if !l.is_load() || l.seq <= seq {
-                continue;
-            }
             let Some(m) = &l.mem else { continue };
             let Some(l_addr) = m.addr else { continue };
             // u128 as in `execute_load`: no overflow near u64::MAX.
@@ -1624,7 +1727,7 @@ impl<'a> Core<'a> {
             self.next_seq += 1;
 
             // Sources first (they read the pre-update rename map).
-            let srcs: Vec<(Reg, usize)> = inst
+            let srcs: InlineVec<(Reg, usize), 3> = inst
                 .src_regs()
                 .iter()
                 .map(|r| (r, self.rename_map[r.index()]))
@@ -1637,7 +1740,7 @@ impl<'a> Core<'a> {
 
             // Destinations: allocate and update maps.
             let width = inst.write_width().unwrap_or(Width::W64);
-            let mut dsts = Vec::with_capacity(n_dsts);
+            let mut dsts: InlineVec<DstInfo, 2> = InlineVec::new();
             for r in inst.dst_regs().iter() {
                 let new_phys = self.free_list.pop_front().expect("checked space");
                 let prev_phys = self.rename_map[r.index()];
@@ -1670,9 +1773,11 @@ impl<'a> Core<'a> {
 
             if inst.is_load() {
                 self.lq_used += 1;
+                self.sched.inflight_loads.insert(seq);
             }
             if inst.is_store() {
                 self.sq_used += 1;
+                self.sched.inflight_stores.insert(seq);
             }
 
             let mem = if inst.is_mem() {
@@ -1784,7 +1889,7 @@ impl<'a> Core<'a> {
             }
             self.l1i.access(pc);
             let hist_snapshot = self.tage.history();
-            let rsb_snapshot = self.rsb.snapshot();
+            let rsb_snapshot = self.rsb.snapshot_shared();
             let mut pred_taken = false;
             let pred_next: Option<u32> = match inst.op {
                 Op::Jmp { target } => Some(target),

@@ -72,6 +72,11 @@ pub(crate) struct Scheduler {
     pub resolve_pending: BTreeSet<Seq>,
     /// Every in-flight branch that has not resolved (frontier input).
     pub unresolved_branches: BTreeSet<Seq>,
+    /// Every in-flight load (including `ret`), in age order: the memory
+    /// disambiguation scans walk these instead of the whole ROB.
+    pub inflight_loads: BTreeSet<Seq>,
+    /// Every in-flight store (including `call`), in age order.
+    pub inflight_stores: BTreeSet<Seq>,
     /// Per-physical-register dependent lists: µops parked on one unready
     /// source register each.
     dep_lists: Vec<Vec<Seq>>,
@@ -92,6 +97,25 @@ impl Scheduler {
             dep_lists: vec![Vec::new(); n_phys],
             ..Scheduler::default()
         }
+    }
+
+    /// Empties every event structure in place, keeping the dependent-
+    /// list and scratch allocations (the `Core::reset` arena path).
+    pub fn reset(&mut self) {
+        self.wheel.clear();
+        self.waiting.clear();
+        self.issue_ready.clear();
+        self.wakeup_pending.clear();
+        self.store_waiters.clear();
+        self.resolve_pending.clear();
+        self.unresolved_branches.clear();
+        self.inflight_loads.clear();
+        self.inflight_stores.clear();
+        for list in &mut self.dep_lists {
+            list.clear();
+        }
+        self.progress = false;
+        self.scratch.clear();
     }
 
     // ---- completion wheel -------------------------------------------
@@ -150,6 +174,8 @@ impl Scheduler {
             &mut self.store_waiters,
             &mut self.resolve_pending,
             &mut self.unresolved_branches,
+            &mut self.inflight_loads,
+            &mut self.inflight_stores,
         ] {
             set.split_off(&bound);
         }
@@ -205,6 +231,8 @@ mod tests {
             s.store_waiters.insert(seq);
             s.resolve_pending.insert(seq);
             s.unresolved_branches.insert(seq);
+            s.inflight_loads.insert(seq);
+            s.inflight_stores.insert(seq);
         }
         s.squash_after(5);
         for set in [
@@ -214,6 +242,8 @@ mod tests {
             &s.store_waiters,
             &s.resolve_pending,
             &s.unresolved_branches,
+            &s.inflight_loads,
+            &s.inflight_stores,
         ] {
             assert_eq!(set.iter().copied().collect::<Vec<_>>(), vec![1, 5]);
         }
