@@ -67,6 +67,16 @@ PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" PROTEAN_JOBS=4 PROTEAN_BENCH_SAMPLES=1 PROT
     cargo run -q --release --offline -p protean-bench --bin campaign_perf -- --quick >/dev/null
 cmp "$BENCH_SMOKE_DIR/campaign_perf_report.jobs1.bak" "$BENCH_SMOKE_DIR/campaign_perf_report.json"
 
+echo "== campaign_perf decode-cache equivalence (--quick, PROTEAN_DECODE_CACHE=0)"
+# The decode-once µop table is a pure front-end fast path: with it
+# disabled (PROTEAN_DECODE_CACHE=0 forces the legacy decode-per-visit
+# path), the deterministic campaign report must stay byte-identical.
+cp "$BENCH_SMOKE_DIR/campaign_perf_report.json" "$BENCH_SMOKE_DIR/campaign_perf_report.decoded.bak"
+PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" PROTEAN_DECODE_CACHE=0 PROTEAN_JOBS=4 \
+    PROTEAN_BENCH_SAMPLES=1 PROTEAN_BENCH_WARMUP=0 \
+    cargo run -q --release --offline -p protean-bench --bin campaign_perf -- --quick >/dev/null
+cmp "$BENCH_SMOKE_DIR/campaign_perf_report.decoded.bak" "$BENCH_SMOKE_DIR/campaign_perf_report.json"
+
 echo "== validate_json (all smoke reports + committed BENCH_perf.json)"
 PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" \
     cargo run -q --release --offline -p protean-bench --bin validate_json

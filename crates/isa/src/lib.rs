@@ -16,6 +16,9 @@
 //! * [`TransmitterSet`] — the parametric set of transmitter kinds
 //!   (loads, stores, branches, division µops) from the paper's threat
 //!   model (§II-B1);
+//! * [`DecodedProgram`]/[`DecodedInst`] — the pre-decoded µop table
+//!   built once per program by the simulator's decode-once front end
+//!   (and shared with the emulator oracle);
 //! * [`ProgramBuilder`] and [`assemble`] — programmatic and textual
 //!   front-ends;
 //! * [`encode_program`]/[`decode_program`]/[`code_size`] — a binary
@@ -53,6 +56,7 @@
 
 mod asm;
 mod builder;
+mod decoded;
 mod encode;
 mod inst;
 mod metadata;
@@ -63,6 +67,7 @@ mod util;
 
 pub use asm::{assemble, AsmError};
 pub use builder::{Label, ProgramBuilder, UnboundLabelError};
+pub use decoded::{CtrlFlow, DecodedInst, DecodedProgram};
 pub use encode::{
     code_size, decode_program, encode_inst, encode_program, DecodeError, PROT_PREFIX,
 };

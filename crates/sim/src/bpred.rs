@@ -156,6 +156,18 @@ impl TagePredictor {
         self.history = 0;
     }
 
+    /// Speculatively shifts a predicted (or squash-recovered actual)
+    /// direction into the global history at fetch time.
+    ///
+    /// This is the *same* folding [`TagePredictor::update`] applies at
+    /// commit — exposed as one API so the front end cannot desync from
+    /// the predictor's own history update by hand-rolling the shift.
+    /// `pc` is accepted for symmetry with `predict`/`update` (and for
+    /// future path-based histories); the current fold ignores it.
+    pub fn speculate(&mut self, _pc: u64, taken: bool) {
+        self.history = (self.history << 1) | taken as u64;
+    }
+
     /// Snapshot of the global history (for squash recovery).
     pub fn history(&self) -> u64 {
         self.history
@@ -359,6 +371,39 @@ mod tests {
         assert_ne!(p.history(), h);
         p.restore_history(h);
         assert_eq!(p.history(), h);
+    }
+
+    #[test]
+    fn speculate_matches_resolve_time_history_folding() {
+        // The fetch stage folds a *predicted* direction into the global
+        // history speculatively; commit folds the *actual* direction via
+        // `update`. For the same direction the two must produce the same
+        // history word — otherwise squash recovery (restore + re-fold)
+        // would desync fetch-time table indexing from the trained state.
+        let mut spec = TagePredictor::new();
+        let mut resolved = TagePredictor::new();
+        let pcs = [0x40_0100u64, 0x40_0204, 0x40_030c];
+        for i in 0..500u64 {
+            let pc = pcs[(i % 3) as usize];
+            let taken = (i * 7) % 3 == 0;
+            // Fetch-side: speculative fold only.
+            spec.speculate(pc, taken);
+            // Commit-side: full update (counters train too).
+            let pred = resolved.predict(pc);
+            resolved.update(pc, pred, taken);
+            assert_eq!(
+                spec.history(),
+                resolved.history(),
+                "histories diverged at step {i}"
+            );
+        }
+        // Mispredict recovery: restore a snapshot, re-fold the actual
+        // direction with `speculate` — same word `update` would leave.
+        let snap = spec.history();
+        spec.speculate(0x40_0100, true);
+        spec.restore_history(snap);
+        spec.speculate(0x40_0100, false);
+        assert_eq!(spec.history(), snap << 1);
     }
 
     #[test]

@@ -103,6 +103,12 @@ pub struct CoreConfig {
     /// (see `crate::trace`). Off by default; the `PROTEAN_TRACE`
     /// environment variable (set to anything but `0`) also enables it.
     pub trace: bool,
+    /// Use the per-program pre-decoded µop table built at `Core::reset`
+    /// (the decode-once front end). `false` falls back to decoding every
+    /// instruction on every dynamic visit — observationally identical,
+    /// kept for differential testing. The `PROTEAN_DECODE_CACHE`
+    /// environment variable overrides (set to `0` to disable).
+    pub decode_cache: bool,
 }
 
 impl CoreConfig {
@@ -153,6 +159,7 @@ impl CoreConfig {
             speculation: SpeculationModel::AtCommit,
             mem_prot: MemProtTracking::TaggedL1d,
             trace: false,
+            decode_cache: true,
         }
     }
 
@@ -205,6 +212,7 @@ impl CoreConfig {
             speculation: SpeculationModel::AtCommit,
             mem_prot: MemProtTracking::TaggedL1d,
             trace: false,
+            decode_cache: true,
         }
     }
 
@@ -263,6 +271,7 @@ impl CoreConfig {
             speculation: SpeculationModel::AtCommit,
             mem_prot: MemProtTracking::TaggedL1d,
             trace: false,
+            decode_cache: true,
         }
     }
 }

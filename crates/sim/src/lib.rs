@@ -59,4 +59,4 @@ pub use defense::{
 pub use multicore::{Multicore, MulticoreResult, Thread};
 pub use pipeline::{Core, DstInfo, DynInst, MemState, SimExit, SimResult, UopStatus};
 pub use stats::Stats;
-pub use trace::{AuditRecord, BlockedAt, SquashEvent, Trace, Tracer, UopTrace};
+pub use trace::{AuditRecord, BlockedAt, FetchGroupEvent, SquashEvent, Trace, Tracer, UopTrace};

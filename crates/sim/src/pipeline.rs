@@ -13,12 +13,15 @@
 //! point; the unsafe baseline is the policy that never blocks anything.
 
 use crate::defense::{BlockPoint, DefensePolicy, RegTags, Seq, SpecFrontier, SquashKind, NO_ROOT};
-use crate::sched::Scheduler;
+use crate::sched::{FetchEntry, FetchQueue, Scheduler};
 use crate::trace::{Trace, Tracer};
 use crate::{Btb, Rsb, TagePredictor};
 use crate::{Cache, CoreConfig, MemProtTracking, Stats};
 use protean_arch::{ArchState, Memory};
-use protean_isa::{alu_eval, div_eval, Flags, InlineVec, Inst, Op, Operand, Program, Reg, Width};
+use protean_isa::{
+    alu_eval, div_eval, CtrlFlow, DecodedInst, DecodedProgram, Flags, InlineVec, Inst, Op, Operand,
+    Program, Reg, RegSet,
+};
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
@@ -148,6 +151,13 @@ pub struct DynInst {
     /// Division µop faulted (zero divisor) — triggers a machine clear at
     /// commit.
     pub div_fault: bool,
+    /// Registers feeding the effective-address computation (pre-decoded;
+    /// empty for non-memory µops). Drives the store-data/address split in
+    /// the operand-readiness checks without re-walking the instruction.
+    pub addr_regs: RegSet,
+    /// Store-data register, when the store's data operand is a register
+    /// (`None` for immediate stores and `call`).
+    pub data_reg: Option<Reg>,
 
     // ---- Timing (the AMuLeT* stage-timing adversary observes these) --
     /// Cycle fetched.
@@ -199,15 +209,6 @@ impl DynInst {
     pub fn is_store(&self) -> bool {
         self.inst.is_store()
     }
-}
-
-struct FetchEntry {
-    idx: u32,
-    pred_next: Option<u32>,
-    pred_taken: bool,
-    hist_snapshot: u64,
-    rsb_snapshot: Arc<[u64]>,
-    ready_cycle: u64,
 }
 
 /// Why the simulation ended.
@@ -270,8 +271,24 @@ pub struct Core<'a> {
 
     // Front end.
     fetch_idx: Option<u32>,
-    fetch_queue: VecDeque<FetchEntry>,
+    fetch_queue: FetchQueue,
     fetch_stalled_until: u64,
+    /// Decode-once µop table, rebuilt at every [`Core::reset`] (the
+    /// program reference may point at reused storage, so no caching on
+    /// pointer identity). Empty when `decode_cache` is off.
+    decoded: DecodedProgram,
+    /// Effective decode-cache switch: [`CoreConfig::decode_cache`] unless
+    /// overridden by `PROTEAN_DECODE_CACHE` (read once at construction).
+    decode_cache: bool,
+    /// Per-static-instruction sensitive-register sets under the active
+    /// policy's transmitter set, precomputed at reset alongside the
+    /// decoded table. The legacy path recomputes per dynamic visit so the
+    /// differential test exercises genuinely independent code.
+    sens_table: Vec<RegSet>,
+    /// Static index whose L1I miss has already been booked and filled:
+    /// the post-stall re-fetch must not access the cache again (it would
+    /// book a spurious hit and bump the LRU clock twice).
+    l1i_paid: Option<u32>,
     tage: TagePredictor,
     btb: Btb,
     rsb: Rsb,
@@ -346,10 +363,18 @@ impl<'a> Core<'a> {
         let n_phys = cfg.phys_regs.max(Reg::COUNT * 2);
         let meta_fill = policy.l1d_meta_fill();
         let trace_on = cfg.trace || std::env::var("PROTEAN_TRACE").is_ok_and(|v| v.trim() != "0");
+        let decode_cache = match std::env::var("PROTEAN_DECODE_CACHE") {
+            Ok(v) => v.trim() != "0",
+            Err(_) => cfg.decode_cache,
+        };
         let mut core = Core {
             fetch_idx: None,
-            fetch_queue: VecDeque::new(),
+            fetch_queue: FetchQueue::default(),
             fetch_stalled_until: 0,
+            decoded: DecodedProgram::default(),
+            decode_cache,
+            sens_table: Vec::new(),
+            l1i_paid: None,
             tage: TagePredictor::new(),
             btb: Btb::new(cfg.btb_entries),
             rsb: Rsb::new(cfg.rsb_entries),
@@ -432,6 +457,20 @@ impl<'a> Core<'a> {
         };
         self.fetch_queue.clear();
         self.fetch_stalled_until = 0;
+        self.sens_table.clear();
+        if self.decode_cache {
+            self.decoded.rebuild(self.program);
+            let transmitters = self.policy.transmitters();
+            self.sens_table.extend(
+                self.program
+                    .insts
+                    .iter()
+                    .map(|i| transmitters.sensitive_regs(i)),
+            );
+        } else {
+            self.decoded.clear();
+        }
+        self.l1i_paid = None;
         self.tage.reset();
         self.btb.reset();
         self.rsb.reset();
@@ -547,6 +586,8 @@ impl<'a> Core<'a> {
         }
         let mut stats = std::mem::take(&mut self.stats);
         stats.cycles = self.cycle;
+        stats.l1i_hits = self.l1i.hits;
+        stats.l1i_misses = self.l1i.misses;
         stats.l1d_hits = self.l1d.hits;
         stats.l1d_misses = self.l1d.misses;
         stats.l2_hits = self.l2.hits;
@@ -584,11 +625,15 @@ impl<'a> Core<'a> {
             out,
             "fetch_idx={:?} fq={} free={} lq={} sq={}",
             self.fetch_idx,
-            self.fetch_queue.len(),
+            self.fetch_queue.pending(),
             self.free_list.len(),
             self.lq_used,
             self.sq_used
         );
+        if let Some(g) = self.fetch_queue.front_group() {
+            let idxs: Vec<u32> = g.remaining().iter().map(|e| e.idx).collect();
+            let _ = writeln!(out, "  head fetch group ready@{}: {idxs:?}", g.ready_cycle);
+        }
         for u in self.rob.iter().take(8) {
             let srcs: Vec<String> = u
                 .srcs
@@ -697,9 +742,9 @@ impl<'a> Core<'a> {
         if self.fetch_stalled_until >= cycle {
             wake = wake.min(self.fetch_stalled_until);
         }
-        if let Some(f) = self.fetch_queue.front() {
-            if f.ready_cycle >= cycle {
-                wake = wake.min(f.ready_cycle);
+        if let Some(rc) = self.fetch_queue.head_ready_cycle() {
+            if rc >= cycle {
+                wake = wake.min(rc);
             }
         }
         if self.div_busy_until >= cycle {
@@ -772,35 +817,20 @@ impl<'a> Core<'a> {
     /// source ready, except that a store's pure data operand may lag
     /// (split STA/STD; captured later by `capture_store_data`).
     fn operands_ready(&self, u: &DynInst) -> bool {
-        let addr_regs = u.inst.address_regs();
-        let data_reg = match u.inst.op {
-            Op::Store {
-                src: Operand::Reg(r),
-                ..
-            } => Some(r),
-            _ => None,
-        };
         u.srcs.iter().all(|(r, p)| {
-            self.prf_ready[*p] || (u.is_store() && Some(*r) == data_reg && !addr_regs.contains(*r))
+            self.prf_ready[*p]
+                || (u.is_store() && Some(*r) == u.data_reg && !u.addr_regs.contains(*r))
         })
     }
 
     /// A source register that keeps [`Core::operands_ready`] false — the
     /// dependent list the µop parks on until that register is written.
     fn first_unready_src(&self, u: &DynInst) -> Option<usize> {
-        let addr_regs = u.inst.address_regs();
-        let data_reg = match u.inst.op {
-            Op::Store {
-                src: Operand::Reg(r),
-                ..
-            } => Some(r),
-            _ => None,
-        };
         u.srcs
             .iter()
             .find(|(r, p)| {
                 !self.prf_ready[*p]
-                    && !(u.is_store() && Some(*r) == data_reg && !addr_regs.contains(*r))
+                    && !(u.is_store() && Some(*r) == u.data_reg && !u.addr_regs.contains(*r))
             })
             .map(|(_, p)| *p)
     }
@@ -1031,10 +1061,7 @@ impl<'a> Core<'a> {
         self.tage.restore_history(hist);
         self.rsb.restore(&rsb_snap);
         match inst.op {
-            Op::Jcc { .. } => {
-                let h = self.tage.history();
-                self.tage.restore_history((h << 1) | actual_taken as u64);
-            }
+            Op::Jcc { .. } => self.tage.speculate(self.program.pc_of(idx), actual_taken),
             Op::Call { .. } => self.rsb.push(self.program.pc_of(idx + 1)),
             Op::Ret => {
                 let _ = self.rsb.pop();
@@ -1043,6 +1070,7 @@ impl<'a> Core<'a> {
         }
         self.fetch_idx = actual_next;
         self.fetch_queue.clear();
+        self.l1i_paid = None;
         self.fetch_stalled_until = self.cycle + self.cfg.redirect_penalty as u64;
     }
 
@@ -1093,8 +1121,8 @@ impl<'a> Core<'a> {
             .map(|u| (u.hist_snapshot, u.rsb_snapshot.clone()))
             .or_else(|| {
                 self.fetch_queue
-                    .front()
-                    .map(|f| (f.hist_snapshot, f.rsb_snapshot.clone()))
+                    .head()
+                    .map(|(f, _)| (f.hist_snapshot, f.rsb_snapshot.clone()))
             });
         self.squash_younger_than(surviving, kind);
         if let Some((h, r)) = snap {
@@ -1103,6 +1131,7 @@ impl<'a> Core<'a> {
         }
         self.fetch_idx = refetch;
         self.fetch_queue.clear();
+        self.l1i_paid = None;
         self.fetch_stalled_until = self.cycle + self.cfg.redirect_penalty as u64;
         self.sched.mark_progress();
         match kind {
@@ -1699,49 +1728,96 @@ impl<'a> Core<'a> {
     // Rename
     // ------------------------------------------------------------------
 
+    /// The decoded form of static instruction `idx`: a copy out of the
+    /// decode-once table, or (legacy path, `decode_cache` off) a fresh
+    /// per-visit decode through the *same* lowering routine — the two
+    /// paths are identical by construction and checked against each
+    /// other by the `decode_cache_equiv` differential test.
+    fn decoded_at(&self, idx: u32) -> DecodedInst {
+        if self.decode_cache {
+            *self.decoded.get(idx)
+        } else {
+            DecodedInst::decode(self.program, idx)
+        }
+    }
+
+    /// Control-flow class of static instruction `idx` — the only
+    /// decoded field fetch needs, so the cached path reads it in place
+    /// instead of copying the whole `DecodedInst` out of the table.
+    fn ctrl_at(&self, idx: u32) -> CtrlFlow {
+        if self.decode_cache {
+            self.decoded.get(idx).ctrl
+        } else {
+            DecodedInst::decode(self.program, idx).ctrl
+        }
+    }
+
+    /// Sensitive-register set of static instruction `idx` under the
+    /// active policy's transmitter set (precomputed in cached mode).
+    fn sens_at(&self, idx: u32, inst: &Inst) -> RegSet {
+        if self.decode_cache {
+            self.sens_table[idx as usize]
+        } else {
+            self.policy.transmitters().sensitive_regs(inst)
+        }
+    }
+
+    /// Consumes up to `fetch_width` µops from the fetch queue's front
+    /// group(s). The queue hands the current group over as one slice;
+    /// structural stalls (ROB/LQ/SQ/free-list) stop the whole cycle
+    /// exactly as the entry-at-a-time loop did.
     fn rename(&mut self) {
         for _ in 0..self.cfg.fetch_width {
-            let Some(front) = self.fetch_queue.front() else {
+            let Some((front, ready_cycle)) = self.fetch_queue.head() else {
                 return;
             };
-            if front.ready_cycle > self.cycle {
+            if ready_cycle > self.cycle {
                 return;
             }
+            let idx = front.idx;
+            let pred_next = front.pred_next;
+            let pred_taken = front.pred_taken;
+            let hist_snapshot = front.hist_snapshot;
             if self.rob.len() >= self.cfg.rob_size {
                 return;
             }
-            let inst = self.program.insts[front.idx as usize];
-            if inst.is_load() && self.lq_used >= self.cfg.lq_size {
+            let d = self.decoded_at(idx);
+            if d.is_load && self.lq_used >= self.cfg.lq_size {
                 return;
             }
-            if inst.is_store() && self.sq_used >= self.cfg.sq_size {
+            if d.is_store && self.sq_used >= self.cfg.sq_size {
                 return;
             }
-            let n_dsts = inst.dst_regs().len();
-            if self.free_list.len() < n_dsts {
+            if self.free_list.len() < d.dsts.len() {
                 return;
             }
-            let front = self.fetch_queue.pop_front().expect("checked above");
-            let idx = front.idx;
+            let rsb_snapshot = self
+                .fetch_queue
+                .head()
+                .expect("checked above")
+                .0
+                .rsb_snapshot
+                .clone();
+            self.fetch_queue.advance_head();
             let seq = self.next_seq;
             self.next_seq += 1;
 
             // Sources first (they read the pre-update rename map).
-            let srcs: InlineVec<(Reg, usize), 3> = inst
-                .src_regs()
+            let srcs: InlineVec<(Reg, usize), 3> = d
+                .srcs
                 .iter()
-                .map(|r| (r, self.rename_map[r.index()]))
+                .map(|r| (*r, self.rename_map[r.index()]))
                 .collect();
             let src_prot = srcs.iter().any(|(_, p)| self.tags.prot[*p]);
-            let sens_arch = self.policy.transmitters().sensitive_regs(&inst);
+            let sens_arch = self.sens_at(idx, &d.inst);
             let sens_prot = srcs
                 .iter()
                 .any(|(r, p)| sens_arch.contains(*r) && self.tags.prot[*p]);
 
             // Destinations: allocate and update maps.
-            let width = inst.write_width().unwrap_or(Width::W64);
+            let width = d.write_width;
             let mut dsts: InlineVec<DstInfo, 2> = InlineVec::new();
-            for r in inst.dst_regs().iter() {
+            for r in d.dsts.iter().copied() {
                 let new_phys = self.free_list.pop_front().expect("checked space");
                 let prev_phys = self.rename_map[r.index()];
                 let prev_prot = self.prot_map[r.index()];
@@ -1749,9 +1825,9 @@ impl<'a> Core<'a> {
                 // ProtISA rename-map protection update (§IV-C1): PROT
                 // protects; unprefixed full-width writes unprotect;
                 // unprefixed partial writes leave the bit unchanged.
-                let new_prot = if inst.prot {
+                let new_prot = if d.inst.prot {
                     true
-                } else if width.is_partial() && r == inst.explicit_dst().unwrap_or(r) {
+                } else if width.is_partial() && r == d.explicit_dst.unwrap_or(r) {
                     prev_prot
                 } else {
                     false
@@ -1771,20 +1847,20 @@ impl<'a> Core<'a> {
                 });
             }
 
-            if inst.is_load() {
+            if d.is_load {
                 self.lq_used += 1;
                 self.sched.inflight_loads.insert(seq);
             }
-            if inst.is_store() {
+            if d.is_store {
                 self.sq_used += 1;
                 self.sched.inflight_stores.insert(seq);
             }
 
-            let mem = if inst.is_mem() {
+            let mem = if d.is_mem {
                 Some(MemState {
                     addr: None,
-                    size: inst.mem_size().unwrap_or(8),
-                    is_store: inst.is_store(),
+                    size: d.mem_size,
+                    is_store: d.is_store,
                     value: 0,
                     data_ready: false,
                     data_prot: false,
@@ -1801,22 +1877,22 @@ impl<'a> Core<'a> {
             let mut u = DynInst {
                 seq,
                 idx,
-                pc: self.program.pc_of(idx),
-                inst,
+                pc: d.pc,
+                inst: d.inst,
                 srcs,
                 dsts,
                 status: UopStatus::Waiting,
                 mem,
-                pred_next: front.pred_next,
-                pred_taken: front.pred_taken,
+                pred_next,
+                pred_taken,
                 actual_next: None,
                 actual_taken: false,
                 mispredicted: false,
                 resolved: false,
                 wakeup_done: false,
-                hist_snapshot: front.hist_snapshot,
-                rsb_snapshot: front.rsb_snapshot,
-                prot_out: inst.prot,
+                hist_snapshot,
+                rsb_snapshot,
+                prot_out: d.inst.prot,
                 src_prot,
                 sens_prot,
                 mem_prot: None,
@@ -1826,7 +1902,9 @@ impl<'a> Core<'a> {
                 wakeup_hold_root: NO_ROOT,
                 pred_no_access: None,
                 div_fault: false,
-                fetch_cycle: front.ready_cycle - self.cfg.frontend_depth as u64,
+                addr_regs: d.addr_regs,
+                data_reg: d.store_data_reg,
+                fetch_cycle: ready_cycle - self.cfg.frontend_depth as u64,
                 rename_cycle: self.cycle,
                 issue_cycle: 0,
                 complete_cycle: 0,
@@ -1847,7 +1925,7 @@ impl<'a> Core<'a> {
                     .expect("not-ready µop has an unready source");
                 self.sched.register_dep(p, seq);
             }
-            if inst.is_branch() {
+            if d.is_branch {
                 self.sched.unresolved_branches.insert(seq);
             }
             self.invalidate_frontier();
@@ -1862,75 +1940,100 @@ impl<'a> Core<'a> {
     // Fetch
     // ------------------------------------------------------------------
 
+    /// Fetches one group per cycle: up to `fetch_width` µops ending at
+    /// the first predicted-taken control transfer (or an L1I miss, the
+    /// queue cap, or program end). The whole group is handed to the
+    /// fetch queue as one slice sharing a single ready cycle — entries
+    /// fetched the same cycle always shared it anyway.
     fn fetch(&mut self) {
         if self.cycle < self.fetch_stalled_until {
             return;
         }
         let cap = self.cfg.fetch_width * 3;
+        // Idle fast path: nothing to fetch (program exhausted / queue at
+        // cap) — skip the group bookkeeping entirely. Stall-heavy
+        // defense runs spend most cycles here.
+        if self.fetch_idx.is_none() || self.fetch_queue.pending() >= cap {
+            return;
+        }
+        let mut group = self.fetch_queue.begin_group();
         for _ in 0..self.cfg.fetch_width {
-            if self.fetch_queue.len() >= cap {
-                return;
+            if self.fetch_queue.pending() + group.len() >= cap {
+                break;
             }
-            let Some(idx) = self.fetch_idx else { return };
+            let Some(idx) = self.fetch_idx else { break };
             if idx as usize >= self.program.len() {
                 self.fetch_idx = None;
-                return;
+                break;
             }
-            let inst = self.program.insts[idx as usize];
             let pc = self.program.pc_of(idx);
+            let ctrl = self.ctrl_at(idx);
             // Instruction-cache access: a miss stalls the front end for
             // the L2 hit latency (instruction lines are L2-resident for
-            // our workload sizes; the line is filled either way).
-            if !self.l1i.probe(pc) {
-                self.l1i.access(pc);
+            // our workload sizes; the line is filled by the access that
+            // booked the miss). Exactly one access is booked per fetched
+            // µop: the post-stall re-fetch of the missed index skips the
+            // cache entirely (`l1i_paid`) instead of booking a spurious
+            // hit and bumping the LRU clock a second time.
+            if self.l1i_paid == Some(idx) {
+                self.l1i_paid = None;
+            } else if !self.l1i.access(pc).hit {
+                self.l1i_paid = Some(idx);
                 self.fetch_stalled_until = self.cycle + self.cfg.l2.latency as u64;
                 self.sched.mark_progress();
-                return;
+                break;
             }
-            self.l1i.access(pc);
             let hist_snapshot = self.tage.history();
             let rsb_snapshot = self.rsb.snapshot_shared();
             let mut pred_taken = false;
-            let pred_next: Option<u32> = match inst.op {
-                Op::Jmp { target } => Some(target),
-                Op::Call { target } => {
+            let pred_next: Option<u32> = match ctrl {
+                CtrlFlow::Jmp { target } => Some(target),
+                CtrlFlow::Call { target } => {
                     self.rsb.push(self.program.pc_of(idx + 1));
                     Some(target)
                 }
-                Op::Jcc { target, .. } => {
+                CtrlFlow::Jcc { target } => {
                     pred_taken = self.tage.predict(pc);
-                    let h = self.tage.history();
-                    self.tage.restore_history((h << 1) | pred_taken as u64);
+                    self.tage.speculate(pc, pred_taken);
                     Some(if pred_taken { target } else { idx + 1 })
                 }
-                Op::Ret => match self.rsb.pop() {
+                CtrlFlow::Ret => match self.rsb.pop() {
                     Some(ret_pc) => self.program.index_of_pc(ret_pc),
                     None => self
                         .btb
                         .lookup(pc)
                         .and_then(|t| self.program.index_of_pc(t)),
                 },
-                Op::JmpReg { .. } => self
+                CtrlFlow::JmpReg => self
                     .btb
                     .lookup(pc)
                     .and_then(|t| self.program.index_of_pc(t)),
-                Op::Halt => None,
-                _ => Some(idx + 1),
+                CtrlFlow::Halt => None,
+                CtrlFlow::Fall => Some(idx + 1),
             };
-            self.fetch_queue.push_back(FetchEntry {
+            group.push(FetchEntry {
                 idx,
                 pred_next,
                 pred_taken,
                 hist_snapshot,
                 rsb_snapshot,
-                ready_cycle: self.cycle + self.cfg.frontend_depth as u64,
             });
             self.sched.mark_progress();
             self.fetch_idx = pred_next;
             // Stop the fetch group after a taken control transfer.
             if pred_next != Some(idx + 1) {
-                return;
+                break;
             }
         }
+        if !group.is_empty() {
+            if self.tracer.is_some() {
+                let (cycle, start, len) = (self.cycle, group[0].idx, group.len() as u32);
+                if let Some(t) = self.tracer.as_mut() {
+                    t.on_fetch_group(cycle, start, len);
+                }
+            }
+        }
+        self.fetch_queue
+            .push_group(group, self.cycle + self.cfg.frontend_depth as u64);
     }
 }

@@ -35,6 +35,12 @@ pub struct Stats {
     pub wakeup_blocked_cycles: u64,
     /// Cycles a mispredicted branch's squash was delayed by the defense.
     pub resolve_blocked_cycles: u64,
+    /// L1I hits. Exactly one L1I access is booked per fetched µop, so
+    /// `l1i_hits + l1i_misses == fetched` (asserted by the front-end
+    /// regression tests).
+    pub l1i_hits: u64,
+    /// L1I misses (each stalls the front end for the L2 hit latency).
+    pub l1i_misses: u64,
     /// L1D hits / misses.
     pub l1d_hits: u64,
     /// L1D misses.

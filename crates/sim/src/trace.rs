@@ -115,6 +115,18 @@ pub struct AuditRecord {
     pub committed: bool,
 }
 
+/// One front-end fetch group: the contiguous µop run fetched in a
+/// single cycle and handed to rename as a unit (batched front end).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FetchGroupEvent {
+    /// Cycle the group was fetched.
+    pub cycle: u64,
+    /// Static index of the group's first instruction.
+    pub start_idx: u32,
+    /// Number of µops in the group (bounded by the fetch width).
+    pub len: u32,
+}
+
 /// The in-flight recorder owned by the core while tracing is enabled.
 ///
 /// Event methods are O(1) per event; µops are stored in a flat `Vec`
@@ -130,6 +142,9 @@ pub struct Tracer {
     /// Blocked cycles attributed to dropped µops, per gate — keeps
     /// [`Trace::blocked_totals`] exact regardless of the cap.
     overflow_blocked: [u64; 3],
+    /// Front-end fetch groups (one per productive fetch cycle), capped
+    /// at the same recording limit as µops.
+    fetch_groups: Vec<FetchGroupEvent>,
 }
 
 impl Tracer {
@@ -147,6 +162,20 @@ impl Tracer {
             limit: limit.max(1),
             dropped: 0,
             overflow_blocked: [0; 3],
+            fetch_groups: Vec::new(),
+        }
+    }
+
+    /// The fetch stage produced a group of `len` µops starting at static
+    /// index `start_idx` this cycle. Groups past the recording cap are
+    /// dropped (they carry no Stats-reconciled totals).
+    pub fn on_fetch_group(&mut self, cycle: u64, start_idx: u32, len: u32) {
+        if self.fetch_groups.len() < self.limit {
+            self.fetch_groups.push(FetchGroupEvent {
+                cycle,
+                start_idx,
+                len,
+            });
         }
     }
 
@@ -263,6 +292,7 @@ impl Tracer {
             uops: self.uops,
             dropped: self.dropped,
             overflow_blocked: self.overflow_blocked,
+            fetch_groups: self.fetch_groups,
             cycles,
         }
     }
@@ -280,6 +310,10 @@ pub struct Trace {
     pub dropped: u64,
     /// Blocked cycles attributed to dropped µops, per gate.
     pub overflow_blocked: [u64; 3],
+    /// Front-end fetch groups in fetch order (one per productive fetch
+    /// cycle, capped at the recording limit). Every renamed µop belongs
+    /// to exactly one group; group sizes are bounded by the fetch width.
+    pub fetch_groups: Vec<FetchGroupEvent>,
     /// Total cycles of the run.
     pub cycles: u64,
 }
