@@ -25,11 +25,13 @@ pub enum AluOp {
     Or,
     /// Bitwise XOR.
     Xor,
-    /// Logical shift left (shift amount taken modulo 64).
+    /// Logical shift left (count masked by operand width: mod 64 for
+    /// W64, mod 32 otherwise, per the x86 contract).
     Shl,
-    /// Logical shift right.
+    /// Logical shift right of the width lane.
     Shr,
-    /// Arithmetic shift right.
+    /// Arithmetic shift right of the width lane (sign bit is the
+    /// width's top bit, not bit 63).
     Sar,
     /// Rotate left (used heavily by the crypto workloads).
     Rol,
@@ -175,22 +177,41 @@ pub struct Flags {
 impl Flags {
     /// Flags produced by computing `a - b` (the semantics of `cmp a, b`).
     pub fn from_sub(a: u64, b: u64) -> Flags {
-        let (res, borrow) = a.overflowing_sub(b);
-        let of = ((a ^ b) & (a ^ res)) >> 63 == 1;
+        Flags::from_sub_width(a, b, Width::W64)
+    }
+
+    /// Flags produced by an `a - b` performed at `width`: the operands
+    /// are truncated to the width lane first, and the borrow, sign, and
+    /// overflow are taken at that lane's top bit (x86 `sub r32, r32`
+    /// sets SF from bit 31, not bit 63).
+    pub fn from_sub_width(a: u64, b: u64, width: Width) -> Flags {
+        let mask = width.mask();
+        let sign = 1u64 << (width.bits() - 1);
+        let (am, bm) = (a & mask, b & mask);
+        let res = am.wrapping_sub(bm) & mask;
         Flags {
             zf: res == 0,
-            sf: res >> 63 == 1,
-            cf: borrow,
-            of,
+            sf: res & sign != 0,
+            cf: am < bm,
+            of: ((am ^ bm) & (am ^ res)) & sign != 0,
         }
     }
 
     /// Flags produced by a logical/arithmetic result (carry/overflow
     /// cleared, as for x86 logical ops).
     pub fn from_result(res: u64) -> Flags {
+        Flags::from_result_width(res, Width::W64)
+    }
+
+    /// Flags produced by a logical/arithmetic result computed at `width`:
+    /// ZF/SF are taken from the width-truncated lane (x86 `add r32, r32`
+    /// reports ZF for a zero 32-bit result even if upstream math carried
+    /// into bit 32, and SF from the lane's top bit).
+    pub fn from_result_width(res: u64, width: Width) -> Flags {
+        let res = res & width.mask();
         Flags {
             zf: res == 0,
-            sf: res >> 63 == 1,
+            sf: res & (1u64 << (width.bits() - 1)) != 0,
             cf: false,
             of: false,
         }
@@ -242,6 +263,21 @@ impl Width {
             Width::W16 => 2,
             Width::W32 => 4,
             Width::W64 => 8,
+        }
+    }
+
+    /// Number of bits.
+    pub fn bits(self) -> u32 {
+        self.bytes() as u32 * 8
+    }
+
+    /// The mask x86 applies to a shift/rotate count at this operand
+    /// width: counts are taken mod 64 for 64-bit operands and mod 32
+    /// for everything narrower (SDM vol. 2, SHL/SHR/SAR/ROL/ROR).
+    pub fn shift_count_mask(self) -> u64 {
+        match self {
+            Width::W64 => 63,
+            _ => 31,
         }
     }
 

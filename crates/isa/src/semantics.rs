@@ -7,9 +7,18 @@ use crate::{AluOp, Flags, Width};
 /// Evaluates an ALU operation.
 ///
 /// Returns the new destination value (with [`Width`] merge semantics
-/// applied against `old_dst`) and the resulting flags. Flags are computed
-/// from the full-width result, with subtraction additionally setting
-/// carry/overflow (see [`Flags::from_sub`]).
+/// applied against `old_dst`) and the resulting flags.
+///
+/// The operation is faithful to the x86 contract at every width:
+///
+/// * shift/rotate counts are masked by the operand width
+///   ([`Width::shift_count_mask`]: mod 64 for W64, mod 32 otherwise);
+/// * `Shr`/`Sar`/`Rol`/`Ror` operate on the width lane — `Sar` replicates
+///   the *width's* sign bit and rotates are periodic in the lane width;
+/// * flags are derived from the width-truncated result
+///   ([`Flags::from_result_width`]), with subtraction additionally
+///   setting carry/overflow at the lane's top bit
+///   ([`Flags::from_sub_width`]).
 ///
 /// # Examples
 ///
@@ -20,53 +29,61 @@ use crate::{AluOp, Flags, Width};
 /// assert_eq!(v, 5);
 /// assert!(!f.zf);
 ///
-/// // 32-bit ops zero-extend (x86 semantics).
-/// let (v, _) = alu_eval(AluOp::Add, u64::MAX, 1, Width::W32, 0xdead_0000_0000_0000);
+/// // 32-bit ops zero-extend (x86 semantics)... and a truncated-to-zero
+/// // result really does set ZF.
+/// let (v, f) = alu_eval(AluOp::Add, u64::MAX, 1, Width::W32, 0xdead_0000_0000_0000);
 /// assert_eq!(v, 0);
+/// assert!(f.zf);
+///
+/// // A 32-bit shift count is taken mod 32: `shl r32, 33` shifts by 1.
+/// let (v, _) = alu_eval(AluOp::Shl, 3, 33, Width::W32, 0);
+/// assert_eq!(v, 6);
 /// ```
 pub fn alu_eval(op: AluOp, a: u64, b: u64, width: Width, old_dst: u64) -> (u64, Flags) {
-    let (raw, flags) = match op {
-        AluOp::Add => {
-            let r = a.wrapping_add(b);
-            (r, Flags::from_result(r))
-        }
-        AluOp::Sub => (a.wrapping_sub(b), Flags::from_sub(a, b)),
-        AluOp::And => {
-            let r = a & b;
-            (r, Flags::from_result(r))
-        }
-        AluOp::Or => {
-            let r = a | b;
-            (r, Flags::from_result(r))
-        }
-        AluOp::Xor => {
-            let r = a ^ b;
-            (r, Flags::from_result(r))
-        }
-        AluOp::Shl => {
-            let r = a.wrapping_shl(b as u32);
-            (r, Flags::from_result(r))
-        }
-        AluOp::Shr => {
-            let r = a.wrapping_shr(b as u32);
-            (r, Flags::from_result(r))
-        }
+    let mask = width.mask();
+    let bits = width.bits();
+    // x86 masks the count by operand size *before* the shift, so a
+    // masked count can still cover the whole lane for W8/W16 (e.g.
+    // `shl al, 17` shifts by 17 and leaves AL zero). Rust's u64 shifts
+    // are defined for any count < 64, which the masked count always is.
+    let count = (b & width.shift_count_mask()) as u32;
+    let raw = match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => (a & mask).wrapping_shl(count),
+        AluOp::Shr => (a & mask).wrapping_shr(count),
         AluOp::Sar => {
-            let r = (a as i64).wrapping_shr(b as u32) as u64;
-            (r, Flags::from_result(r))
+            // Sign-extend the lane to 64 bits, then an i64 shift
+            // replicates the lane's sign bit for any masked count.
+            let lane = (((a & mask) << (64 - bits)) as i64) >> (64 - bits);
+            (lane >> count) as u64
         }
         AluOp::Rol => {
-            let r = a.rotate_left((b % 64) as u32);
-            (r, Flags::from_result(r))
+            let v = a & mask;
+            let n = count % bits;
+            if n == 0 {
+                v
+            } else {
+                (v << n | v >> (bits - n)) & mask
+            }
         }
         AluOp::Ror => {
-            let r = a.rotate_right((b % 64) as u32);
-            (r, Flags::from_result(r))
+            let v = a & mask;
+            let n = count % bits;
+            if n == 0 {
+                v
+            } else {
+                (v >> n | v << (bits - n)) & mask
+            }
         }
-        AluOp::Mul => {
-            let r = a.wrapping_mul(b);
-            (r, Flags::from_result(r))
-        }
+        AluOp::Mul => a.wrapping_mul(b),
+    };
+    let flags = match op {
+        AluOp::Sub => Flags::from_sub_width(a, b, width),
+        _ => Flags::from_result_width(raw, width),
     };
     (width.apply(old_dst, raw), flags)
 }
@@ -183,6 +200,196 @@ mod tests {
     fn alu_partial_width_merges() {
         let (v, _) = alu_eval(AluOp::Add, 0x10, 0x05, Width::W8, 0xaabb_ccdd_0000_0000);
         assert_eq!(v, 0xaabb_ccdd_0000_0015);
+    }
+
+    /// Shift counts are masked by operand width: mod 64 for W64, mod 32
+    /// for everything narrower (SDM SHL/SHR/SAR).
+    #[test]
+    fn shift_count_masked_by_width() {
+        // shl r32, 33 == shl r32, 1 (count mod 32), NOT zero.
+        assert_eq!(alu_eval(AluOp::Shl, 3, 33, Width::W32, 0).0, 6);
+        // shl r64, 65 == shl r64, 1 (count mod 64).
+        assert_eq!(alu_eval(AluOp::Shl, 3, 65, Width::W64, 0).0, 6);
+        // shl r64, 33 really shifts by 33.
+        assert_eq!(alu_eval(AluOp::Shl, 1, 33, Width::W64, 0).0, 1u64 << 33);
+        // Narrow widths use the 5-bit mask too: shr r16, 34 == shr r16, 2.
+        assert_eq!(alu_eval(AluOp::Shr, 0x8000, 34, Width::W16, 0).0, 0x2000);
+        // A masked count can still clear a narrow lane: shl al, 17 -> 0.
+        assert_eq!(alu_eval(AluOp::Shl, 0xff, 17, Width::W8, 0xaa00).0, 0xaa00);
+        // sar r8, 40 == sar r8, 8 -> all sign bits of the lane.
+        assert_eq!(alu_eval(AluOp::Sar, 0x80, 40, Width::W8, 0).0, 0xff);
+    }
+
+    /// Shr/Sar operate on the width lane, not the full register.
+    #[test]
+    fn narrow_shifts_use_the_lane() {
+        // shr r32: bits above the lane don't leak into the result.
+        assert_eq!(
+            alu_eval(AluOp::Shr, 0xdead_beef_8000_0000, 31, Width::W32, 0).0,
+            1
+        );
+        // sar r32: the sign bit is bit 31, not bit 63.
+        assert_eq!(
+            alu_eval(AluOp::Sar, 0x0000_0000_8000_0000, 4, Width::W32, 0).0,
+            0xf800_0000
+        );
+        // ... and a positive lane under a negative full register stays
+        // positive.
+        assert_eq!(
+            alu_eval(AluOp::Sar, 0xffff_ffff_7fff_ffff, 4, Width::W32, 0).0,
+            0x07ff_ffff
+        );
+        // sar r16 replicates bit 15.
+        assert_eq!(alu_eval(AluOp::Sar, 0x8000, 1, Width::W16, 0).0, 0xc000);
+    }
+
+    /// Rotates are periodic in the lane width after the count mask.
+    #[test]
+    fn rotates_rotate_within_the_lane() {
+        // rol r8, 1 wraps bit 7 into bit 0.
+        assert_eq!(alu_eval(AluOp::Rol, 0x80, 1, Width::W8, 0).0, 0x01);
+        // ror r8, 1 wraps bit 0 into bit 7.
+        assert_eq!(alu_eval(AluOp::Ror, 0x01, 1, Width::W8, 0).0, 0x80);
+        // rol r16, 20 == rol r16, 4 after mask-then-mod.
+        assert_eq!(alu_eval(AluOp::Rol, 0x1234, 20, Width::W16, 0).0, 0x2341);
+        // rol r32, 32 is the identity (count 32 masked to 0 at W32).
+        assert_eq!(
+            alu_eval(AluOp::Rol, 0x8765_4321, 32, Width::W32, 0).0,
+            0x8765_4321
+        );
+        // Full-width rotates still wrap across all 64 bits.
+        assert_eq!(
+            alu_eval(AluOp::Ror, 1, 1, Width::W64, 0).0,
+            0x8000_0000_0000_0000
+        );
+        // Bits above the lane never rotate in.
+        assert_eq!(
+            alu_eval(AluOp::Rol, 0xff00_0000_0000_0080, 1, Width::W8, 0).0,
+            0x01
+        );
+    }
+
+    /// Flags come from the width-truncated result, not the raw 64-bit
+    /// value.
+    #[test]
+    fn flags_from_truncated_result() {
+        // W32 add that carries into bit 32: the 32-bit result is zero.
+        let (v, f) = alu_eval(AluOp::Add, 0xffff_ffff, 1, Width::W32, u64::MAX);
+        assert_eq!(v, 0);
+        assert!(f.zf, "truncated-zero result must set ZF");
+        assert!(!f.sf);
+        // W32 result with bit 31 set: SF comes from the lane's top bit.
+        let (_, f) = alu_eval(AluOp::Or, 0x8000_0000, 0, Width::W32, 0);
+        assert!(f.sf, "bit 31 is the W32 sign bit");
+        assert!(!f.zf);
+        // ... whereas bit 63 alone must NOT set SF for a W32 op (it is
+        // not even part of the result).
+        let (_, f) = alu_eval(AluOp::And, 0x8000_0000_0000_0000, u64::MAX, Width::W32, 0);
+        assert!(f.zf);
+        assert!(!f.sf);
+        // W8 mul whose low byte is zero sets ZF.
+        let (_, f) = alu_eval(AluOp::Mul, 0x40, 4, Width::W8, 0);
+        assert!(f.zf);
+    }
+
+    /// Sub flags (borrow/sign/overflow) are taken at the lane's top bit.
+    #[test]
+    fn sub_flags_at_width() {
+        // 8-bit: 0x80 - 1 = 0x7f overflows (INT8_MIN - 1).
+        let (_, f) = alu_eval(AluOp::Sub, 0x80, 1, Width::W8, 0);
+        assert!(f.of, "0x80 - 1 overflows at W8");
+        assert!(!f.sf);
+        assert!(!f.cf);
+        // 8-bit: 0 - 1 borrows and is negative in the lane.
+        let (_, f) = alu_eval(AluOp::Sub, 0x100, 1, Width::W8, 0);
+        assert!(f.cf, "lane 0x00 - 1 borrows even if bit 8 is set");
+        assert!(f.sf);
+        // 32-bit: operands equal in the lane compare equal regardless of
+        // the upper halves.
+        let (_, f) = alu_eval(
+            AluOp::Sub,
+            0xaaaa_0000_0000_0005,
+            0xbbbb_0000_0000_0005,
+            Width::W32,
+            0,
+        );
+        assert!(f.zf);
+        assert!(!f.cf);
+        // W64 behaviour is unchanged from the historical semantics.
+        let f = Flags::from_sub(3, 5);
+        assert_eq!(f, Flags::from_sub_width(3, 5, Width::W64));
+        assert!(f.cf && f.sf && !f.zf);
+    }
+
+    /// W64 results are bit-for-bit what the historical full-width
+    /// semantics produced (the width fixes only change narrow lanes).
+    #[test]
+    fn w64_matches_full_width_reference() {
+        let samples = [
+            (0u64, 0u64),
+            (1, 1),
+            (u64::MAX, 1),
+            (0x8000_0000_0000_0000, 63),
+            (0xdead_beef_cafe_f00d, 7),
+            (42, 64),
+            (42, 65),
+        ];
+        for (a, b) in samples {
+            for op in AluOp::ALL {
+                let (v, _) = alu_eval(op, a, b, Width::W64, 0);
+                let reference = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::And => a & b,
+                    AluOp::Or => a | b,
+                    AluOp::Xor => a ^ b,
+                    AluOp::Shl => a.wrapping_shl(b as u32),
+                    AluOp::Shr => a.wrapping_shr(b as u32),
+                    AluOp::Sar => (a as i64).wrapping_shr(b as u32) as u64,
+                    AluOp::Rol => a.rotate_left((b % 64) as u32),
+                    AluOp::Ror => a.rotate_right((b % 64) as u32),
+                    AluOp::Mul => a.wrapping_mul(b),
+                };
+                assert_eq!(v, reference, "{op:?} {a:#x} {b:#x}");
+            }
+        }
+    }
+
+    /// Every op × width: results stay inside the merge contract and
+    /// flags match the truncated result.
+    #[test]
+    fn per_op_per_width_contract() {
+        let samples = [
+            (0u64, 0u64),
+            (0xff, 0x11),
+            (0xdead_beef_cafe_f00d, 33),
+            (u64::MAX, u64::MAX),
+            (0x8000_0000_0000_0000, 1),
+            (0x1234_5678_9abc_def0, 40),
+        ];
+        let old = 0x5a5a_5a5a_5a5a_5a5a;
+        for (a, b) in samples {
+            for op in AluOp::ALL {
+                for width in Width::ALL {
+                    let (v, f) = alu_eval(op, a, b, width, old);
+                    // Merge contract: bits outside the lane come from
+                    // old_dst (W8/W16) or are zero (W32/W64).
+                    match width {
+                        Width::W64 => {}
+                        Width::W32 => assert_eq!(v >> 32, 0, "{op:?} {width:?}"),
+                        _ => assert_eq!(v & !width.mask(), old & !width.mask(), "{op:?} {width:?}"),
+                    }
+                    // ZF/SF describe the lane of the result.
+                    let lane = v & width.mask();
+                    assert_eq!(f.zf, lane == 0, "{op:?} {width:?} {a:#x} {b:#x}");
+                    assert_eq!(
+                        f.sf,
+                        lane & (1 << (width.bits() - 1)) != 0,
+                        "{op:?} {width:?} {a:#x} {b:#x}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -61,6 +61,55 @@ fn straight_line_arithmetic() {
     run_both(&prog, &ArchState::new(), CoreConfig::test_tiny());
 }
 
+/// Width-faithful ALU flags observed through a `cmov` consumer in the
+/// pipeline: a W32 add that carries into bit 32 truncates to zero and
+/// must set ZF (historically the flags were computed on the raw 64-bit
+/// value, so the cmov went the wrong way), and a W32 shift count is
+/// masked mod 32, not mod 64.
+#[test]
+fn width_truncated_flags_drive_cmov() {
+    let prog = assemble(
+        r#"
+        mov r0, 0xffffffff
+        add.w r1, r0, 1      ; 32-bit result is 0 -> ZF
+        mov r2, 111
+        mov r3, 222
+        cmov.eq r2, r3       ; must take r3
+        mov r4, 0x80000000
+        or.w r5, r4, 0       ; bit 31 set -> SF at W32
+        mov r6, 333
+        mov r7, 444
+        cmov.lt r6, r7       ; lt = SF != OF; OF clear -> observes SF
+        mov r8, 3
+        shl.w r9, r8, 33     ; count 33 mod 32 = 1 -> 6
+        halt
+        "#,
+    )
+    .unwrap();
+    let init = ArchState::new();
+
+    let mut emu = Emulator::new(&prog, init.clone());
+    let (status, _) = emu.run(10_000);
+    assert_eq!(status, ExitStatus::Halted);
+    assert_eq!(emu.state.reg(Reg::gpr(1)), 0, "W32 add truncates to zero");
+    assert_eq!(emu.state.reg(Reg::gpr(2)), 222, "ZF from truncated result");
+    assert_eq!(emu.state.reg(Reg::gpr(6)), 444, "SF from bit 31 at W32");
+    assert_eq!(emu.state.reg(Reg::gpr(9)), 6, "W32 shift count mod 32");
+
+    let mut core = Core::new(
+        &prog,
+        CoreConfig::test_tiny(),
+        Box::new(UnsafePolicy),
+        &init,
+    );
+    core.record_traces(true);
+    let result = core.run(10_000, 100_000);
+    assert_eq!(result.exit, SimExit::Halted);
+    assert_eq!(result.final_regs[Reg::gpr(2).index()], 222);
+    assert_eq!(result.final_regs[Reg::gpr(6).index()], 444);
+    assert_eq!(result.final_regs[Reg::gpr(9).index()], 6);
+}
+
 #[test]
 fn loop_with_memory() {
     // Sum an array of 64 elements.
