@@ -40,6 +40,16 @@ echo "== golden scheduler equivalence (release + debug)"
 cargo test -q --release --offline -p protean-bench --test golden_scheduler
 cargo test -q --offline -p protean-bench --test golden_scheduler
 
+echo "== threaded oracle differential (release + debug)"
+# The closure-IR oracle fast mode must be bit-identical to the
+# reference interpreter — full ExecRecord streams, final state, the
+# ProtSet, and every observer projection, across all ProtCC passes.
+# Run it named in both profiles: release for the real campaign
+# configuration, debug for overflow checks on the width-semantics
+# paths the lowering duplicates.
+cargo test -q --release --offline -p protean-bench --test threaded_oracle_equiv
+cargo test -q --offline -p protean-bench --test threaded_oracle_equiv
+
 echo "== bench JSON smoke (ablation_fixes --quick + perf_smoke + validate_json)"
 # Two bench binaries end to end: write their JSON reports to a scratch
 # dir, then check them against the schema shared by all reports.
@@ -76,6 +86,20 @@ PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" PROTEAN_DECODE_CACHE=0 PROTEAN_JOBS=4 \
     PROTEAN_BENCH_SAMPLES=1 PROTEAN_BENCH_WARMUP=0 \
     cargo run -q --release --offline -p protean-bench --bin campaign_perf -- --quick >/dev/null
 cmp "$BENCH_SMOKE_DIR/campaign_perf_report.decoded.bak" "$BENCH_SMOKE_DIR/campaign_perf_report.json"
+
+echo "== campaign_perf oracle equivalence (--quick, PROTEAN_ORACLE=interp, jobs 1 and 4)"
+# The threaded-code SEQ oracle is the default; forcing the reference
+# interpreter (PROTEAN_ORACLE=interp) must leave the deterministic
+# campaign report byte-identical, at serial and parallel pool widths.
+cp "$BENCH_SMOKE_DIR/campaign_perf_report.json" "$BENCH_SMOKE_DIR/campaign_perf_report.threaded.bak"
+PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" PROTEAN_ORACLE=interp PROTEAN_JOBS=1 \
+    PROTEAN_BENCH_SAMPLES=1 PROTEAN_BENCH_WARMUP=0 \
+    cargo run -q --release --offline -p protean-bench --bin campaign_perf -- --quick >/dev/null
+cmp "$BENCH_SMOKE_DIR/campaign_perf_report.threaded.bak" "$BENCH_SMOKE_DIR/campaign_perf_report.json"
+PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" PROTEAN_ORACLE=interp PROTEAN_JOBS=4 \
+    PROTEAN_BENCH_SAMPLES=1 PROTEAN_BENCH_WARMUP=0 \
+    cargo run -q --release --offline -p protean-bench --bin campaign_perf -- --quick >/dev/null
+cmp "$BENCH_SMOKE_DIR/campaign_perf_report.threaded.bak" "$BENCH_SMOKE_DIR/campaign_perf_report.json"
 
 echo "== validate_json (all smoke reports + committed BENCH_perf.json)"
 PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" \

@@ -11,11 +11,13 @@
 use crate::generator::{
     self, GadgetTemplate, GenConfig, PUBLIC_BASE, PUBLIC_SIZE, SECRET_BASE, SECRET_SIZE,
 };
-use protean_arch::{ArchState, Emulator, ExecRecord, ExitStatus, ObserverMode};
+use protean_arch::{
+    ArchState, Emulator, ExecRecord, ExitStatus, ObserverMode, OracleMode, ThreadedProgram,
+};
 use protean_cc::{compile_with, public_typing, Pass};
 use protean_isa::{DecodedProgram, Program};
 use protean_rng::Rng;
-use protean_sim::{Core, CoreConfig, DefensePolicy, SimResult};
+use protean_sim::{Core, CoreConfig, DefensePolicy, SimExit, SimResult};
 
 /// Which security contract to test against (paper §II-C, §VII-B1c).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -112,6 +114,17 @@ pub struct FuzzConfig {
     /// `PROTEAN_JOBS` / available parallelism (see `protean_jobs`).
     /// Reports are byte-identical at any worker count.
     pub workers: Option<usize>,
+    /// Which SEQ-oracle backend produces the contract traces: the
+    /// threaded-code lowering (default, fast) or the `match`-based
+    /// interpreter (the differential reference). Both produce identical
+    /// traces and therefore identical reports; [`FuzzConfig::quick`]
+    /// resolves the default via `PROTEAN_ORACLE`.
+    pub oracle: OracleMode,
+    /// Capture rendered pipeline traces for example violations (a traced
+    /// re-run per recorded example). Throughput benchmarks switch this
+    /// off; every *deterministic* report counter is unaffected either
+    /// way.
+    pub capture_traces: bool,
 }
 
 impl FuzzConfig {
@@ -129,6 +142,8 @@ impl FuzzConfig {
             stop_at_first: false,
             only_template: None,
             workers: None,
+            oracle: OracleMode::from_env(),
+            capture_traces: true,
         }
     }
 }
@@ -164,6 +179,12 @@ pub struct Report {
     /// for campaign-throughput accounting. Deterministic like every
     /// other counter: traced example re-runs are excluded.
     pub committed_uops: u64,
+    /// Hardware runs cut off by the cycle/instruction budget before
+    /// halting. A truncated run's adversary observations cover only a
+    /// prefix of the execution, so comparing it against a completed (or
+    /// differently truncated) run would manufacture bogus candidate
+    /// violations — such runs are counted here and never compared.
+    pub hw_truncated: u64,
     /// Example violations (up to 8).
     pub examples: Vec<Violation>,
 }
@@ -209,6 +230,7 @@ pub fn fuzz(
         report.violations += partial.report.violations;
         report.false_positives += partial.report.false_positives;
         report.committed_uops += partial.report.committed_uops;
+        report.hw_truncated += partial.report.hw_truncated;
         for v in partial.report.examples {
             if report.examples.len() < 8 {
                 report.examples.push(v);
@@ -255,28 +277,39 @@ fn fuzz_one_program(
     // Per-program arenas: one `Core` serves the base run and every
     // mutant run via `Core::reset` (byte-identical to constructing a
     // fresh core each time), one record buffer backs every SEQ trace,
-    // and one decoded-µop table (the same decode-once lowering the
-    // simulator front end uses) backs every SEQ emulation.
+    // and one oracle lowering — the decode-once µop table for the
+    // interpreter, or the threaded-code closures for the fast mode —
+    // backs every SEQ emulation.
     let mut records: Vec<ExecRecord> = Vec::new();
-    let decoded = DecodedProgram::new(&program);
+    let oracle = SeqOracle::new(&program, cfg.oracle);
 
     // The base input.
     let base = make_input(&mut rng);
     let Some(base_trace) = seq_trace(
         &program,
-        &decoded,
+        &oracle,
         &base,
         &observer,
         cfg.max_steps,
         &mut records,
     ) else {
-        // Non-terminating or bad control flow: skip program.
+        // Non-terminating or bad control flow: skip program. The
+        // emulator's `StepLimit` lands here too — a program the SEQ
+        // oracle cannot finish within the architectural step budget is
+        // never compared against (possibly truncated) hardware runs.
         return ProgramOutcome { report, stopped };
     };
     let mut core = Core::new(&program, cfg.core.clone(), policy_factory(), &base);
     core.record_traces(true);
     let base_hw = core.run_mut(cfg.max_steps, cfg.max_steps * 60);
     report.committed_uops += base_hw.stats.committed;
+    // The SEQ oracle halted within `max_steps`, but a defense can stall
+    // the hardware into the cycle budget (`max_steps * 60`): a truncated
+    // run observed only a prefix and must not be compared.
+    let base_complete = base_hw.exit == SimExit::Halted;
+    if !base_complete {
+        report.hw_truncated += 1;
+    }
 
     for i in 0..cfg.inputs_per_program {
         // Mutate secrets only.
@@ -284,7 +317,7 @@ fn fuzz_one_program(
         randomize_secrets(&mut mutant, &mut rng);
         let Some(mutant_trace) = seq_trace(
             &program,
-            &decoded,
+            &oracle,
             &mutant,
             &observer,
             cfg.max_steps,
@@ -297,10 +330,18 @@ fn fuzz_one_program(
             report.pairs_rejected += 1;
             continue;
         }
+        if !base_complete {
+            // No comparison partner: skip the mutant's hardware run.
+            continue;
+        }
         core.reset(&program, policy_factory(), &mutant);
         core.record_traces(true);
         let mutant_hw = core.run_mut(cfg.max_steps, cfg.max_steps * 60);
         report.committed_uops += mutant_hw.stats.committed;
+        if mutant_hw.exit != SimExit::Halted {
+            report.hw_truncated += 1;
+            continue;
+        }
         report.tests += 2;
         if cfg.adversary.observations_differ(&base_hw, &mutant_hw) {
             // Candidate violation; apply the false-positive filter.
@@ -315,7 +356,11 @@ fn fuzz_one_program(
                     program_seed: seed,
                     input_index: i,
                     false_positive: fp,
-                    trace: traced_rerun(&program, &mutant, cfg, policy_factory()),
+                    trace: if cfg.capture_traces {
+                        traced_rerun(&program, &mutant, cfg, policy_factory())
+                    } else {
+                        None
+                    },
                 });
             }
             if !fp && cfg.stop_at_first {
@@ -325,6 +370,32 @@ fn fuzz_one_program(
         }
     }
     ProgramOutcome { report, stopped }
+}
+
+/// The per-program SEQ-oracle lowering: either the decode-once µop table
+/// (interpreter) or the threaded-code closures (fast mode). Built once
+/// per program, reused for the base trace and every mutant trace.
+enum SeqOracle {
+    Interp(DecodedProgram),
+    Threaded(ThreadedProgram),
+}
+
+impl SeqOracle {
+    fn new(program: &Program, mode: OracleMode) -> SeqOracle {
+        match mode {
+            OracleMode::Interp => SeqOracle::Interp(DecodedProgram::new(program)),
+            OracleMode::Threaded => SeqOracle::Threaded(ThreadedProgram::new(program)),
+        }
+    }
+
+    fn emulator<'a>(&'a self, program: &'a Program, input: &ArchState) -> Emulator<'a> {
+        match self {
+            SeqOracle::Interp(decoded) => Emulator::with_decoded(program, decoded, input.clone()),
+            SeqOracle::Threaded(threaded) => {
+                Emulator::with_threaded(program, threaded, input.clone())
+            }
+        }
+    }
 }
 
 /// Builds a base input: cold chain, public data, registers, secrets.
@@ -350,18 +421,20 @@ fn randomize_secrets(state: &mut ArchState, rng: &mut Rng) {
     }
 }
 
-/// Sequential (contract) trace; `None` if the program misbehaves.
-/// `records` is a caller-owned scratch buffer (cleared and refilled by
-/// the emulator) so repeated traces reuse one allocation.
+/// Sequential (contract) trace; `None` if the program misbehaves (bad
+/// control flow, or `StepLimit` — an execution the oracle cannot finish
+/// is never admitted into a comparison). `records` is a caller-owned
+/// scratch buffer (cleared and refilled by the emulator) so repeated
+/// traces reuse one allocation.
 fn seq_trace(
     program: &Program,
-    decoded: &DecodedProgram,
+    oracle: &SeqOracle,
     input: &ArchState,
     observer: &ObserverMode,
     max_steps: u64,
     records: &mut Vec<ExecRecord>,
 ) -> Option<Vec<protean_arch::Obs>> {
-    let mut emu = Emulator::with_decoded(program, decoded, input.clone());
+    let mut emu = oracle.emulator(program, input);
     let status = emu.run_into(max_steps, records);
     (status == ExitStatus::Halted).then(|| observer.trace(records))
 }

@@ -158,13 +158,27 @@ fn generate_inner(cfg: &GenConfig, only: Option<GadgetTemplate>) -> Program {
 /// Prepares the initial memory contents a generated program expects:
 /// the cold pointer-chase cells (each resolving to the public array
 /// bound, 16). Secrets and public data are installed by the fuzzer.
+///
+/// The contents are a pure function of the layout constants, but the
+/// cells deliberately sit on 2×[`COLD_CELLS`] distinct 4 KiB pages (cold
+/// = always miss), so writing them materialises ~1024 pages — by far the
+/// most expensive part of building a fuzzer input. The pages are built
+/// once into a process-wide template and shared copy-on-write into
+/// `mem`, which **replaces** any previous contents (every caller starts
+/// from a fresh memory).
 pub fn init_cold_chain(mem: &mut protean_arch::Memory) {
-    for i in 0..COLD_CELLS {
-        let cell = COLD_BASE + i * 4096;
-        let indirect = COLD_BASE + COLD_CELLS * 4096 + i * 4096;
-        mem.write(cell, 8, indirect);
-        mem.write(indirect, 8, 16);
-    }
+    static TEMPLATE: std::sync::OnceLock<protean_arch::Memory> = std::sync::OnceLock::new();
+    let template = TEMPLATE.get_or_init(|| {
+        let mut mem = protean_arch::Memory::new();
+        for i in 0..COLD_CELLS {
+            let cell = COLD_BASE + i * 4096;
+            let indirect = COLD_BASE + COLD_CELLS * 4096 + i * 4096;
+            mem.write(cell, 8, indirect);
+            mem.write(indirect, 8, 16);
+        }
+        mem
+    });
+    mem.clone_from(template);
 }
 
 fn random_segment(b: &mut ProgramBuilder, rng: &mut Rng) {

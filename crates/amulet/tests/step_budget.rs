@@ -1,0 +1,92 @@
+//! Step-budget divergence handling: the emulator runs for
+//! `cfg.max_steps` architectural steps while the hardware gets a
+//! `(max_steps, max_steps * 60)` instruction/cycle budget. A program the
+//! SEQ oracle cannot finish must be skipped outright — never compared
+//! against (possibly truncated) hardware runs — and a hardware run cut
+//! off by its budget must never enter an adversary comparison.
+
+use protean_amulet::{fuzz, Adversary, ContractKind, FuzzConfig};
+use protean_arch::OracleMode;
+use protean_cc::Pass;
+use protean_core::ProtTrackPolicy;
+use protean_sim::UnsafePolicy;
+
+fn budget_cfg(max_steps: u64) -> FuzzConfig {
+    let mut cfg = FuzzConfig::quick(Pass::Arch, ContractKind::ArchSeq, Adversary::CacheTlb);
+    cfg.programs = 6;
+    cfg.inputs_per_program = 3;
+    cfg.gen.seed = 0xbead;
+    cfg.max_steps = max_steps;
+    cfg
+}
+
+/// Every generated program needs far more than 4 architectural steps:
+/// with such a budget the SEQ oracle exits `StepLimit` for every base
+/// input, so no hardware run happens at all — no bogus
+/// emulator-StepLimit-vs-halted-hardware comparisons, no tests, no
+/// violations.
+#[test]
+fn seq_step_limit_skips_program_entirely() {
+    for oracle in [OracleMode::Interp, OracleMode::Threaded] {
+        let mut cfg = budget_cfg(4);
+        cfg.oracle = oracle;
+        let r = fuzz(&cfg, &|| Box::new(UnsafePolicy));
+        assert_eq!(r.tests, 0, "no pair may be compared ({oracle:?})");
+        assert_eq!(r.violations, 0, "{oracle:?}");
+        assert_eq!(r.false_positives, 0, "{oracle:?}");
+        assert_eq!(r.pairs_rejected, 0, "{oracle:?}");
+        assert_eq!(
+            r.committed_uops, 0,
+            "no hardware run may happen without a base trace ({oracle:?})"
+        );
+        assert_eq!(r.hw_truncated, 0, "{oracle:?}");
+    }
+}
+
+/// With the normal budget, the campaign's hardware runs all halt: the
+/// truncation counter stays zero and the report is identical under both
+/// oracle backends — including under a stalling defense, where hardware
+/// runs take many more cycles than architectural steps.
+#[test]
+fn full_budget_reports_match_across_oracles() {
+    for factory in [
+        &(|| Box::new(UnsafePolicy) as Box<dyn protean_sim::DefensePolicy>)
+            as &(dyn Fn() -> Box<dyn protean_sim::DefensePolicy> + Sync),
+        &|| Box::new(ProtTrackPolicy::new()) as Box<dyn protean_sim::DefensePolicy>,
+    ] {
+        let mut interp_cfg = budget_cfg(60_000);
+        interp_cfg.oracle = OracleMode::Interp;
+        let mut threaded_cfg = budget_cfg(60_000);
+        threaded_cfg.oracle = OracleMode::Threaded;
+        let a = fuzz(&interp_cfg, factory);
+        let b = fuzz(&threaded_cfg, factory);
+        assert!(a.tests > 0);
+        assert_eq!(a.hw_truncated, 0);
+        assert_eq!(a.tests, b.tests);
+        assert_eq!(a.pairs_rejected, b.pairs_rejected);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.false_positives, b.false_positives);
+        assert_eq!(a.committed_uops, b.committed_uops);
+        assert_eq!(a.hw_truncated, b.hw_truncated);
+    }
+}
+
+/// An in-between budget: some generated programs finish inside it, some
+/// do not. The ones that finish are fuzzed normally; the ones that do
+/// not are skipped — and the two oracle backends agree exactly on which
+/// is which.
+#[test]
+fn partial_budget_is_consistent_across_oracles() {
+    let mut interp_cfg = budget_cfg(1_500);
+    interp_cfg.oracle = OracleMode::Interp;
+    let mut threaded_cfg = budget_cfg(1_500);
+    threaded_cfg.oracle = OracleMode::Threaded;
+    let a = fuzz(&interp_cfg, &|| Box::new(UnsafePolicy));
+    let b = fuzz(&threaded_cfg, &|| Box::new(UnsafePolicy));
+    assert_eq!(a.tests, b.tests);
+    assert_eq!(a.pairs_rejected, b.pairs_rejected);
+    assert_eq!(a.violations, b.violations);
+    assert_eq!(a.false_positives, b.false_positives);
+    assert_eq!(a.committed_uops, b.committed_uops);
+    assert_eq!(a.hw_truncated, b.hw_truncated);
+}

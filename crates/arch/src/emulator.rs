@@ -1,6 +1,7 @@
 //! The sequential (architectural) emulator — the SEQ execution mode of
 //! the hardware-software security contracts (paper §II-C).
 
+use crate::threaded::{Ctrl, ThreadedProgram};
 use crate::{Memory, ProtState};
 use protean_isa::{
     alu_eval, div_eval, DecodedProgram, DivOutcome, InlineVec, Inst, Op, Operand, Program, Reg,
@@ -75,7 +76,7 @@ pub struct BranchInfo {
 /// Observer modes (paper §II-C, §VII-B1) project these records onto
 /// contract traces; the AMuLeT\* false-positive filter compares their PCs
 /// and addresses.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ExecRecord {
     /// Instruction index.
     pub idx: u32,
@@ -134,6 +135,9 @@ pub struct Emulator<'a> {
     /// front end ([`Emulator::with_decoded`]): instruction fetch becomes
     /// one table read instead of an instruction load plus a PC multiply.
     decoded: Option<&'a DecodedProgram>,
+    /// Threaded-code lowering ([`Emulator::with_threaded`]): each step
+    /// calls a pre-bound closure instead of decoding `inst.op`.
+    threaded: Option<&'a ThreadedProgram>,
     /// The live architectural state.
     pub state: ArchState,
     /// The live architectural ProtSet.
@@ -149,6 +153,7 @@ impl<'a> Emulator<'a> {
         Emulator {
             program,
             decoded: None,
+            threaded: None,
             state,
             prot: ProtState::new(),
             pc_idx: if program.is_empty() { None } else { Some(0) },
@@ -171,6 +176,24 @@ impl<'a> Emulator<'a> {
         emu
     }
 
+    /// Like [`Emulator::new`], but executing through a threaded-code
+    /// lowering built once per program ([`ThreadedProgram::new`]): each
+    /// step is an indirect call to a pre-bound closure instead of a
+    /// `match inst.op` decode. `threaded` must have been built from
+    /// `program`; execution (records, final state, ProtSet) is
+    /// bit-identical to the interpreter — the property test
+    /// `threaded_oracle_equiv` enforces this.
+    pub fn with_threaded(
+        program: &'a Program,
+        threaded: &'a ThreadedProgram,
+        state: ArchState,
+    ) -> Emulator<'a> {
+        debug_assert_eq!(threaded.len(), program.len());
+        let mut emu = Emulator::new(program, state);
+        emu.threaded = Some(threaded);
+        emu
+    }
+
     /// Number of instructions executed so far.
     pub fn steps(&self) -> u64 {
         self.steps
@@ -184,6 +207,9 @@ impl<'a> Emulator<'a> {
     /// Executes one instruction, or returns `None` if halted.
     pub fn step(&mut self) -> Option<ExecRecord> {
         let idx = self.pc_idx?;
+        if let Some(threaded) = self.threaded {
+            return Some(self.step_threaded(threaded, idx));
+        }
         let (inst, pc) = match self.decoded {
             Some(d) => {
                 let di = d.get(idx);
@@ -399,6 +425,40 @@ impl<'a> Emulator<'a> {
         Some(record)
     }
 
+    /// One step through the threaded-code lowering: the driver fetches
+    /// the pre-bound [`crate::ThreadedOp`], calls it, and resolves any
+    /// computed (indirect) target against the code segment — the only
+    /// part of a step that needs the [`Program`].
+    fn step_threaded(&mut self, threaded: &ThreadedProgram, idx: u32) -> ExecRecord {
+        let op = threaded.get(idx);
+        self.steps += 1;
+        let mut record = ExecRecord {
+            idx,
+            pc: op.pc,
+            inst: op.inst,
+            mem: None,
+            addr_regs: InlineVec::new(),
+            branch: None,
+            div: None,
+            reg_writes: InlineVec::new(),
+        };
+        match op.exec(&mut self.state, &mut self.prot, &mut record) {
+            Ctrl::Next => self.pc_idx = Some(idx + 1),
+            Ctrl::Jump(target) => self.pc_idx = Some(target),
+            Ctrl::JumpPc(target_pc) => {
+                let target = self.program.index_of_pc(target_pc);
+                record.branch = Some(BranchInfo {
+                    taken: true,
+                    target,
+                    indirect: true,
+                });
+                self.pc_idx = target;
+            }
+            Ctrl::Halt => self.pc_idx = None,
+        }
+        record
+    }
+
     /// Runs until halt, bad control flow, or `max_steps` instructions.
     ///
     /// Returns the exit status and all execution records.
@@ -446,17 +506,43 @@ impl<'a> Emulator<'a> {
         width: Width,
         prot: bool,
     ) {
-        self.state.set_reg(reg, value);
-        self.prot.write_reg(reg, width, prot);
-        record
-            .reg_writes
-            .push((reg, value, self.prot.reg_protected(reg)));
+        apply_reg_write(
+            &mut self.state,
+            &mut self.prot,
+            record,
+            reg,
+            value,
+            width,
+            prot,
+        );
     }
 
     fn finish_prot(&mut self, _inst: &Inst, _record: &ExecRecord, _store_prot: bool) {
         // ProtSet updates are applied inline; this hook exists for the
         // early-return paths and currently has nothing left to do.
     }
+}
+
+/// The one register-write path shared by the interpreter and the
+/// threaded-code lowering: architectural write, ProtSet update per the
+/// ProtISA rules, and the record entry with the post-instruction
+/// protection bit. Keeping this a single function makes the prot
+/// plumbing of the two backends identical by construction.
+#[inline]
+pub(crate) fn apply_reg_write(
+    state: &mut ArchState,
+    prot: &mut ProtState,
+    record: &mut ExecRecord,
+    reg: Reg,
+    value: u64,
+    width: Width,
+    prot_bit: bool,
+) {
+    state.set_reg(reg, value);
+    prot.write_reg(reg, width, prot_bit);
+    record
+        .reg_writes
+        .push((reg, value, prot.reg_protected(reg)));
 }
 
 #[cfg(test)]

@@ -40,8 +40,10 @@ mod emulator;
 mod mem;
 mod observer;
 mod prot;
+mod threaded;
 
 pub use emulator::{ArchState, BranchInfo, Emulator, ExecRecord, ExitStatus, MemAccess};
 pub use mem::Memory;
 pub use observer::{commit_fingerprint, Obs, ObserverMode, PublicTyping};
 pub use prot::ProtState;
+pub use threaded::{Ctrl, OracleMode, ThreadedOp, ThreadedProgram};

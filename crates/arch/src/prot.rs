@@ -12,10 +12,20 @@
 //! superset of this reference.
 
 use protean_isa::{Reg, RegSet, Width};
-use std::collections::BTreeSet;
+use std::collections::HashMap;
 
-/// The architectural ProtSet: per-register protection bits plus a sparse
-/// set of *unprotected* memory bytes (memory defaults to protected).
+/// Bytes per bitmap page.
+const PAGE_BYTES: u64 = 4096;
+/// 64-bit words per page bitmap (one bit per byte).
+const PAGE_WORDS: usize = (PAGE_BYTES / 64) as usize;
+
+/// The architectural ProtSet: per-register protection bits plus a
+/// page-chunked bitmap of *unprotected* memory bytes (memory defaults to
+/// protected). A page holds one bit per byte, so the typical 8-byte
+/// aligned access is a single masked word operation instead of eight
+/// per-byte set operations — the ProtSet is updated on every unprefixed
+/// load and every store, which made the former per-byte `BTreeSet` a
+/// top campaign hotspot.
 ///
 /// # Examples
 ///
@@ -33,9 +43,35 @@ use std::collections::BTreeSet;
 #[derive(Clone, Debug)]
 pub struct ProtState {
     reg_prot: [bool; Reg::COUNT],
-    /// Memory bytes known to be unprotected. Everything else is
-    /// protected.
-    unprot_bytes: BTreeSet<u64>,
+    /// Per-page bitmaps of memory bytes known to be unprotected (bit set
+    /// = unprotected). Absent pages are fully protected.
+    unprot_pages: HashMap<u64, [u64; PAGE_WORDS]>,
+}
+
+/// Calls `f(page, word, mask)` for each word-aligned chunk of the byte
+/// range `[addr, addr + size)`; returns `false` early if `f` does.
+/// Addresses wrap like the byte arithmetic they replace.
+#[inline]
+fn for_each_chunk(addr: u64, size: u64, mut f: impl FnMut(u64, usize, u64) -> bool) -> bool {
+    let mut a = addr;
+    let mut remaining = size;
+    while remaining > 0 {
+        let bit = (a % 64) as u32;
+        let len = remaining.min(64 - bit as u64) as u32;
+        let mask = if len == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << len) - 1) << bit
+        };
+        let page = a / PAGE_BYTES;
+        let word = ((a % PAGE_BYTES) / 64) as usize;
+        if !f(page, word, mask) {
+            return false;
+        }
+        a = a.wrapping_add(len as u64);
+        remaining -= len as u64;
+    }
+    true
 }
 
 impl ProtState {
@@ -43,7 +79,7 @@ impl ProtState {
     pub fn new() -> ProtState {
         ProtState {
             reg_prot: [true; Reg::COUNT],
-            unprot_bytes: BTreeSet::new(),
+            unprot_pages: HashMap::new(),
         }
     }
 
@@ -77,31 +113,40 @@ impl ProtState {
 
     /// Whether *any* byte of `[addr, addr+size)` is protected.
     pub fn mem_protected(&self, addr: u64, size: u64) -> bool {
-        (0..size).any(|i| !self.unprot_bytes.contains(&addr.wrapping_add(i)))
+        !for_each_chunk(addr, size, |page, word, mask| {
+            match self.unprot_pages.get(&page) {
+                Some(bits) => bits[word] & mask == mask,
+                None => false,
+            }
+        })
     }
 
     /// Marks memory bytes unprotected (an unprefixed load's read, §IV-B4).
     pub fn unprotect_mem(&mut self, addr: u64, size: u64) {
-        for i in 0..size {
-            self.unprot_bytes.insert(addr.wrapping_add(i));
-        }
+        self.set_mem(addr, size, false)
     }
 
     /// Sets memory bytes' protection to `prot` (a store write, §IV-B2).
     pub fn set_mem(&mut self, addr: u64, size: u64, prot: bool) {
-        for i in 0..size {
-            let a = addr.wrapping_add(i);
+        for_each_chunk(addr, size, |page, word, mask| {
             if prot {
-                self.unprot_bytes.remove(&a);
+                if let Some(bits) = self.unprot_pages.get_mut(&page) {
+                    bits[word] &= !mask;
+                }
             } else {
-                self.unprot_bytes.insert(a);
+                let bits = self.unprot_pages.entry(page).or_insert([0; PAGE_WORDS]);
+                bits[word] |= mask;
             }
-        }
+            true
+        });
     }
 
     /// Number of bytes currently known unprotected (diagnostics).
     pub fn unprotected_byte_count(&self) -> usize {
-        self.unprot_bytes.len()
+        self.unprot_pages
+            .values()
+            .map(|bits| bits.iter().map(|w| w.count_ones() as usize).sum::<usize>())
+            .sum()
     }
 }
 
@@ -154,5 +199,27 @@ mod tests {
         p.unprotect_mem(0x0, 8);
         p.unprotect_mem(0x4, 8); // overlaps
         assert_eq!(p.unprotected_byte_count(), 12);
+    }
+
+    #[test]
+    fn ranges_straddling_words_and_pages() {
+        let mut p = ProtState::new();
+        // Straddles a 64-byte bitmap-word boundary.
+        p.unprotect_mem(0x3c, 8);
+        assert!(!p.mem_protected(0x3c, 8));
+        assert!(p.mem_protected(0x3b, 1));
+        assert!(p.mem_protected(0x44, 1));
+        // Straddles a 4 KiB page boundary.
+        p.unprotect_mem(0xffa, 12);
+        assert!(!p.mem_protected(0xffa, 12));
+        assert!(p.mem_protected(0xff9, 1));
+        assert!(p.mem_protected(0x1006, 1));
+        assert_eq!(p.unprotected_byte_count(), 20);
+        // Re-protect across the page boundary.
+        p.set_mem(0xffe, 4, true);
+        assert!(p.mem_protected(0xffa, 12));
+        assert!(!p.mem_protected(0xffa, 4));
+        assert!(!p.mem_protected(0x1002, 4));
+        assert_eq!(p.unprotected_byte_count(), 16);
     }
 }

@@ -46,6 +46,9 @@ fn cases(programs: usize) -> Vec<Case> {
         cfg.programs = programs;
         cfg.inputs_per_program = 3;
         cfg.gen.seed = 0xbead;
+        // Timing benchmark: skip the rendered-trace re-runs for example
+        // violations. Every deterministic report counter is unaffected.
+        cfg.capture_traces = false;
         cfg
     };
     vec![
@@ -111,6 +114,7 @@ fn main() {
             ("violations", Json::U64(report.violations)),
             ("false_positives", Json::U64(report.false_positives)),
             ("committed_uops", Json::U64(report.committed_uops)),
+            ("hw_truncated", Json::U64(report.hw_truncated)),
         ]);
     }
 
