@@ -101,6 +101,39 @@ PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" PROTEAN_ORACLE=interp PROTEAN_JOBS=4 \
     cargo run -q --release --offline -p protean-bench --bin campaign_perf -- --quick >/dev/null
 cmp "$BENCH_SMOKE_DIR/campaign_perf_report.threaded.bak" "$BENCH_SMOKE_DIR/campaign_perf_report.json"
 
+echo "== campaign_perf engine-off equivalence (--quick, PROTEAN_CAMPAIGN_ENGINE=1)"
+# The campaign engine with every feature off must route each program
+# through the same worker as the batch driver and fold identically:
+# the deterministic campaign report stays byte-identical when
+# campaign_perf is re-pointed at the engine.
+cp "$BENCH_SMOKE_DIR/campaign_perf_report.json" "$BENCH_SMOKE_DIR/campaign_perf_report.batch.bak"
+PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" PROTEAN_CAMPAIGN_ENGINE=1 PROTEAN_JOBS=4 \
+    PROTEAN_BENCH_SAMPLES=1 PROTEAN_BENCH_WARMUP=0 \
+    cargo run -q --release --offline -p protean-bench --bin campaign_perf -- --quick >/dev/null
+cmp "$BENCH_SMOKE_DIR/campaign_perf_report.batch.bak" "$BENCH_SMOKE_DIR/campaign_perf_report.json"
+
+echo "== campaign_service kill/resume byte-compare (uninterrupted JOBS=1 vs killed+resumed JOBS=4/2)"
+# The resumable-campaign contract, end to end through the service
+# binary: an uninterrupted run and a run killed after one chunk per
+# campaign then resumed — at different worker counts — must write
+# byte-identical campaign_service.json reports, and the engine must
+# refuse to write a report while any campaign is incomplete. The
+# versioned snapshots land in the smoke dir, so the validate_json pass
+# below also checks them against the shared row schema.
+CAMPAIGN_A_DIR="$(mktemp -d)"
+trap 'rm -rf "$BENCH_SMOKE_DIR" "$CAMPAIGN_A_DIR"' EXIT
+PROTEAN_BENCH_DIR="$CAMPAIGN_A_DIR" PROTEAN_JOBS=1 \
+    cargo run -q --release --offline -p protean-bench --bin campaign_service >/dev/null
+PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" PROTEAN_JOBS=4 \
+    cargo run -q --release --offline -p protean-bench --bin campaign_service -- --kill-after 1 >/dev/null
+if [ -f "$BENCH_SMOKE_DIR/campaign_service.json" ]; then
+    echo "campaign_service wrote a report for an incomplete campaign" >&2
+    exit 1
+fi
+PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" PROTEAN_JOBS=2 \
+    cargo run -q --release --offline -p protean-bench --bin campaign_service >/dev/null
+cmp "$CAMPAIGN_A_DIR/campaign_service.json" "$BENCH_SMOKE_DIR/campaign_service.json"
+
 echo "== validate_json (all smoke reports + committed BENCH_perf.json)"
 PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" \
     cargo run -q --release --offline -p protean-bench --bin validate_json

@@ -16,8 +16,8 @@ use protean_arch::{
 };
 use protean_cc::{compile_with, public_typing, Pass};
 use protean_isa::{DecodedProgram, Program};
-use protean_rng::Rng;
-use protean_sim::{Core, CoreConfig, DefensePolicy, SimExit, SimResult};
+use protean_rng::{Rng, SplitMix64};
+use protean_sim::{Core, CoreConfig, DefensePolicy, SimExit, SimResult, Trace};
 
 /// Which security contract to test against (paper §II-C, §VII-B1c).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -77,7 +77,7 @@ impl Adversary {
     /// Whether the adversary can distinguish the two runs. Compares the
     /// observations in place — no copy of the cache or timing trace is
     /// ever materialised.
-    fn observations_differ(self, a: &SimResult, b: &SimResult) -> bool {
+    pub(crate) fn observations_differ(self, a: &SimResult, b: &SimResult) -> bool {
         match self {
             Adversary::CacheTlb => a.cache_obs != b.cache_obs,
             Adversary::Timing => a.timing != b.timing,
@@ -185,8 +185,19 @@ pub struct Report {
     /// differently truncated) run would manufacture bogus candidate
     /// violations — such runs are counted here and never compared.
     pub hw_truncated: u64,
-    /// Example violations (up to 8).
+    /// Mutants skipped because the program's *base* hardware run was
+    /// truncated: with no comparison partner they can never be tested,
+    /// so neither their SEQ traces nor their hardware runs are paid for
+    /// and they never touch `pairs_rejected` (which counts genuine
+    /// contract-inequivalent pairs only).
+    pub no_partner: u64,
+    /// Example violations (up to [`Report::MAX_EXAMPLES`]).
     pub examples: Vec<Violation>,
+}
+
+impl Report {
+    /// Cap on recorded example violations per report.
+    pub const MAX_EXAMPLES: usize = 8;
 }
 
 /// Runs a fuzzing campaign against `policy_factory`'s defense.
@@ -225,43 +236,65 @@ pub fn fuzz(
     // Order-preserving merge: identical to the serial accumulation.
     let mut report = Report::default();
     for partial in partials {
-        report.tests += partial.report.tests;
-        report.pairs_rejected += partial.report.pairs_rejected;
-        report.violations += partial.report.violations;
-        report.false_positives += partial.report.false_positives;
-        report.committed_uops += partial.report.committed_uops;
-        report.hw_truncated += partial.report.hw_truncated;
-        for v in partial.report.examples {
-            if report.examples.len() < 8 {
-                report.examples.push(v);
-            }
-        }
-        if partial.stopped {
+        let stopped = partial.stopped;
+        merge_outcome(&mut report, partial);
+        if stopped {
             break; // stop_at_first: discard speculative later programs
         }
     }
     report
 }
 
+/// Folds one program's outcome into the campaign accumulator, in
+/// program order (shared by [`fuzz`] and the campaign engine's chunked
+/// merge so both accumulate byte-identically).
+pub(crate) fn merge_outcome(report: &mut Report, partial: ProgramOutcome) {
+    report.tests += partial.report.tests;
+    report.pairs_rejected += partial.report.pairs_rejected;
+    report.violations += partial.report.violations;
+    report.false_positives += partial.report.false_positives;
+    report.committed_uops += partial.report.committed_uops;
+    report.hw_truncated += partial.report.hw_truncated;
+    report.no_partner += partial.report.no_partner;
+    for v in partial.report.examples {
+        if report.examples.len() < Report::MAX_EXAMPLES {
+            report.examples.push(v);
+        }
+    }
+}
+
+/// Derives the `p`-th program's seed from the campaign base seed.
+///
+/// The base seed is scrambled through SplitMix64's finalizer *before*
+/// the program index is mixed in, so campaigns with adjacent base seeds
+/// draw disjoint program streams — `wrapping_add(p)` alone made seed 1
+/// fuzz seed 0's programs shifted by one.
+pub(crate) fn derive_program_seed(base: u64, p: usize) -> u64 {
+    let mut sm = SplitMix64::new(base);
+    let stream = sm.next_u64();
+    let mut sm = SplitMix64::new(stream ^ p as u64);
+    sm.next_u64()
+}
+
 /// One program's share of a campaign.
-struct ProgramOutcome {
-    report: Report,
+pub(crate) struct ProgramOutcome {
+    pub(crate) report: Report,
     /// `stop_at_first` found a true positive in this program: the merge
     /// must not consume any later program's results.
-    stopped: bool,
+    pub(crate) stopped: bool,
 }
 
 /// Fuzzes the `p`-th program of the campaign. Pure function of
 /// `(cfg, p)`: the per-program seed and RNG are derived here, never
 /// shared across jobs.
-fn fuzz_one_program(
+pub(crate) fn fuzz_one_program(
     cfg: &FuzzConfig,
     p: usize,
     policy_factory: &(dyn Fn() -> Box<dyn DefensePolicy> + Sync),
 ) -> ProgramOutcome {
     let mut report = Report::default();
     let mut stopped = false;
-    let seed = cfg.gen.seed.wrapping_add(p as u64);
+    let seed = derive_program_seed(cfg.gen.seed, p);
     let gen_cfg = GenConfig {
         seed,
         ..cfg.gen.clone()
@@ -306,9 +339,14 @@ fn fuzz_one_program(
     // The SEQ oracle halted within `max_steps`, but a defense can stall
     // the hardware into the cycle budget (`max_steps * 60`): a truncated
     // run observed only a prefix and must not be compared.
-    let base_complete = base_hw.exit == SimExit::Halted;
-    if !base_complete {
+    if base_hw.exit != SimExit::Halted {
+        // No mutant will ever have a comparison partner: skip the whole
+        // mutant loop before paying for a single SEQ trace. (Running the
+        // traces anyway used to bump `pairs_rejected` for a program that
+        // could never be compared, inflating the rejection stats.)
         report.hw_truncated += 1;
+        report.no_partner += cfg.inputs_per_program as u64;
+        return ProgramOutcome { report, stopped };
     }
 
     for i in 0..cfg.inputs_per_program {
@@ -330,10 +368,6 @@ fn fuzz_one_program(
             report.pairs_rejected += 1;
             continue;
         }
-        if !base_complete {
-            // No comparison partner: skip the mutant's hardware run.
-            continue;
-        }
         core.reset(&program, policy_factory(), &mutant);
         core.record_traces(true);
         let mutant_hw = core.run_mut(cfg.max_steps, cfg.max_steps * 60);
@@ -351,13 +385,13 @@ fn fuzz_one_program(
             } else {
                 report.violations += 1;
             }
-            if report.examples.len() < 8 {
+            if report.examples.len() < Report::MAX_EXAMPLES {
                 report.examples.push(Violation {
                     program_seed: seed,
                     input_index: i,
                     false_positive: fp,
                     trace: if cfg.capture_traces {
-                        traced_rerun(&program, &mutant, cfg, policy_factory())
+                        traced_rerun(&program, &base, &mutant, cfg, policy_factory)
                     } else {
                         None
                     },
@@ -375,20 +409,20 @@ fn fuzz_one_program(
 /// The per-program SEQ-oracle lowering: either the decode-once µop table
 /// (interpreter) or the threaded-code closures (fast mode). Built once
 /// per program, reused for the base trace and every mutant trace.
-enum SeqOracle {
+pub(crate) enum SeqOracle {
     Interp(DecodedProgram),
     Threaded(ThreadedProgram),
 }
 
 impl SeqOracle {
-    fn new(program: &Program, mode: OracleMode) -> SeqOracle {
+    pub(crate) fn new(program: &Program, mode: OracleMode) -> SeqOracle {
         match mode {
             OracleMode::Interp => SeqOracle::Interp(DecodedProgram::new(program)),
             OracleMode::Threaded => SeqOracle::Threaded(ThreadedProgram::new(program)),
         }
     }
 
-    fn emulator<'a>(&'a self, program: &'a Program, input: &ArchState) -> Emulator<'a> {
+    pub(crate) fn emulator<'a>(&'a self, program: &'a Program, input: &ArchState) -> Emulator<'a> {
         match self {
             SeqOracle::Interp(decoded) => Emulator::with_decoded(program, decoded, input.clone()),
             SeqOracle::Threaded(threaded) => {
@@ -399,7 +433,7 @@ impl SeqOracle {
 }
 
 /// Builds a base input: cold chain, public data, registers, secrets.
-fn make_input(rng: &mut Rng) -> ArchState {
+pub(crate) fn make_input(rng: &mut Rng) -> ArchState {
     let mut state = ArchState::new();
     generator::init_cold_chain(&mut state.mem);
     for i in 0..PUBLIC_SIZE / 8 {
@@ -415,7 +449,7 @@ fn make_input(rng: &mut Rng) -> ArchState {
     state
 }
 
-fn randomize_secrets(state: &mut ArchState, rng: &mut Rng) {
+pub(crate) fn randomize_secrets(state: &mut ArchState, rng: &mut Rng) {
     for i in 0..SECRET_SIZE / 8 {
         state.mem.write(SECRET_BASE + i * 8, 8, rng.gen::<u64>());
     }
@@ -426,7 +460,7 @@ fn randomize_secrets(state: &mut ArchState, rng: &mut Rng) {
 /// is never admitted into a comparison). `records` is a caller-owned
 /// scratch buffer (cleared and refilled by the emulator) so repeated
 /// traces reuse one allocation.
-fn seq_trace(
+pub(crate) fn seq_trace(
     program: &Program,
     oracle: &SeqOracle,
     input: &ArchState,
@@ -439,25 +473,47 @@ fn seq_trace(
     (status == ExitStatus::Halted).then(|| observer.trace(records))
 }
 
-/// Re-runs the leaking input with pipeline tracing enabled and renders
-/// the counterexample trace. The simulator is deterministic, so the
-/// traced run replays the violating execution exactly; tracing is kept
-/// out of `run_hw` itself so the millions of non-violating runs pay
-/// nothing for it.
-fn traced_rerun(
+/// Re-runs one input with pipeline tracing enabled and returns the raw
+/// [`Trace`]. The simulator is deterministic, so the traced run replays
+/// the original execution exactly; tracing is kept out of the fuzzing
+/// hot loop so the millions of non-violating runs pay nothing for it.
+pub(crate) fn traced_replay(
     program: &Program,
     input: &ArchState,
     cfg: &FuzzConfig,
     policy: Box<dyn DefensePolicy>,
-) -> Option<String> {
+) -> Option<Trace> {
     let mut core_cfg = cfg.core.clone();
     core_cfg.trace = true;
     let core = Core::new(program, core_cfg, policy, input);
     let result = core.run(cfg.max_steps, cfg.max_steps * 60);
-    let trace = result.trace?;
+    result.trace
+}
+
+/// Re-runs the violating *pair* with pipeline tracing enabled and
+/// renders both counterexample traces side by side. A violation is a
+/// difference between the base and mutant executions, so a one-sided
+/// rendering hides half the evidence; both halves carry the pipeline
+/// timeline and the defense audit log.
+pub(crate) fn traced_rerun(
+    program: &Program,
+    base: &ArchState,
+    mutant: &ArchState,
+    cfg: &FuzzConfig,
+    policy_factory: &(dyn Fn() -> Box<dyn DefensePolicy> + Sync),
+) -> Option<String> {
+    let render = |trace: &Trace| {
+        format!(
+            "{}\n{}",
+            trace.render_pipeline(48, 120),
+            trace.render_audit(16)
+        )
+    };
+    let base_trace = traced_replay(program, base, cfg, policy_factory())?;
+    let mutant_trace = traced_replay(program, mutant, cfg, policy_factory())?;
     Some(format!(
-        "{}\n{}",
-        trace.render_pipeline(48, 120),
-        trace.render_audit(16)
+        "=== base run ===\n{}\n=== mutant run ===\n{}",
+        render(&base_trace),
+        render(&mutant_trace)
     ))
 }

@@ -95,12 +95,53 @@ impl GadgetTemplate {
         GadgetTemplate::Rsb,
         GadgetTemplate::Btb,
     ];
+
+    /// Template name for reports and coverage-map keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            GadgetTemplate::BoundsLoad => "bounds-load",
+            GadgetTemplate::BoundsBranch => "bounds-branch",
+            GadgetTemplate::BoundsDiv => "bounds-div",
+            GadgetTemplate::MemOrder => "mem-order",
+            GadgetTemplate::Rsb => "rsb",
+            GadgetTemplate::Btb => "btb",
+        }
+    }
+}
+
+/// A generated program together with the gadget templates its segments
+/// drew — the attribution the campaign engine's coverage map needs
+/// (coverage events are keyed on `template × pipeline event`).
+#[derive(Clone, Debug)]
+pub struct GeneratedProgram {
+    /// The generated (uninstrumented) program.
+    pub program: Program,
+    /// The gadget template of each gadget segment, in segment order
+    /// (non-gadget random segments are not recorded).
+    pub templates: Vec<GadgetTemplate>,
 }
 
 /// Generates a test program whose gadget segments all use `template`
 /// (for targeted validation of one speculation primitive).
 pub fn generate_with_template(cfg: &GenConfig, template: GadgetTemplate) -> Program {
     generate_inner(cfg, Some(template))
+}
+
+/// Generates a test program, recording which gadget templates its
+/// segments used, optionally biasing template selection by `weights`
+/// (indexed like [`GadgetTemplate::ALL`]; larger = more likely).
+///
+/// With `weights == None` and `only == None` this draws the *same*
+/// program as [`generate`] for the same config (identical RNG call
+/// sequence); a `Some(weights)` draw uses weighted sampling and
+/// therefore generates a different (but equally deterministic) stream —
+/// the campaign engine's coverage feedback path.
+pub fn generate_recorded(
+    cfg: &GenConfig,
+    only: Option<GadgetTemplate>,
+    weights: Option<&[u64; GadgetTemplate::ALL.len()]>,
+) -> GeneratedProgram {
+    generate_full(cfg, only, weights)
 }
 
 /// Generates a test program.
@@ -119,8 +160,31 @@ pub fn generate(cfg: &GenConfig) -> Program {
 }
 
 fn generate_inner(cfg: &GenConfig, only: Option<GadgetTemplate>) -> Program {
+    generate_full(cfg, only, None).program
+}
+
+/// Draws one template index from integer `weights` (all ≥ 1 by
+/// construction — the campaign engine clamps). One `gen_range` call.
+fn weighted_template(rng: &mut Rng, weights: &[u64; GadgetTemplate::ALL.len()]) -> GadgetTemplate {
+    let total: u64 = weights.iter().sum();
+    let mut x = rng.gen_range(0..total.max(1));
+    for (t, &w) in GadgetTemplate::ALL.iter().zip(weights) {
+        if x < w {
+            return *t;
+        }
+        x -= w;
+    }
+    GadgetTemplate::ALL[GadgetTemplate::ALL.len() - 1]
+}
+
+fn generate_full(
+    cfg: &GenConfig,
+    only: Option<GadgetTemplate>,
+    weights: Option<&[u64; GadgetTemplate::ALL.len()]>,
+) -> GeneratedProgram {
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut b = ProgramBuilder::new();
+    let mut templates = Vec::new();
     // Prologue: stack, cold-chain cursor (R11), public pointer (R10).
     b.mov_imm(Reg::RSP, STACK_TOP);
     b.mov_imm(Reg::R10, PUBLIC_BASE);
@@ -130,9 +194,12 @@ fn generate_inner(cfg: &GenConfig, only: Option<GadgetTemplate>) -> Program {
     }
     for _ in 0..cfg.segments {
         if rng.gen_bool(cfg.gadget_bias) {
-            let template = only.unwrap_or_else(|| {
-                GadgetTemplate::ALL[rng.gen_range(0..GadgetTemplate::ALL.len())]
-            });
+            let template = match (only, weights) {
+                (Some(t), _) => t,
+                (None, Some(w)) => weighted_template(&mut rng, w),
+                (None, None) => GadgetTemplate::ALL[rng.gen_range(0..GadgetTemplate::ALL.len())],
+            };
+            templates.push(template);
             match template {
                 GadgetTemplate::BoundsLoad => {
                     gadget_bounds_bypass(&mut b, &mut rng, GadgetSink::Load)
@@ -152,7 +219,10 @@ fn generate_inner(cfg: &GenConfig, only: Option<GadgetTemplate>) -> Program {
         }
     }
     b.halt();
-    b.build().expect("generator emits well-formed programs")
+    GeneratedProgram {
+        program: b.build().expect("generator emits well-formed programs"),
+        templates,
+    }
 }
 
 /// Prepares the initial memory contents a generated program expects:
@@ -379,6 +449,48 @@ mod tests {
             seed: 9,
         };
         assert_eq!(generate(&cfg).insts, generate(&cfg).insts);
+    }
+
+    #[test]
+    fn recorded_generation_matches_legacy_and_records_templates() {
+        for seed in 0..20 {
+            let cfg = GenConfig {
+                segments: 6,
+                gadget_bias: 0.7,
+                seed,
+            };
+            let legacy = generate(&cfg);
+            let recorded = generate_recorded(&cfg, None, None);
+            assert_eq!(
+                legacy.insts, recorded.program.insts,
+                "seed {seed}: recorded generation drifted from generate()"
+            );
+            assert!(recorded.templates.len() <= cfg.segments);
+            let only = generate_recorded(&cfg, Some(GadgetTemplate::MemOrder), None);
+            assert!(only
+                .templates
+                .iter()
+                .all(|t| *t == GadgetTemplate::MemOrder));
+        }
+    }
+
+    #[test]
+    fn weighted_generation_is_deterministic_and_biases_templates() {
+        let cfg = GenConfig {
+            segments: 8,
+            gadget_bias: 1.0,
+            seed: 13,
+        };
+        // All weight on one template: every gadget segment must use it.
+        let mut w = [0u64; GadgetTemplate::ALL.len()];
+        w[3] = 10; // MemOrder
+        let g = generate_recorded(&cfg, None, Some(&w));
+        assert!(!g.templates.is_empty());
+        assert!(g.templates.iter().all(|t| *t == GadgetTemplate::MemOrder));
+        // Deterministic: same weights, same seed, same program.
+        let h = generate_recorded(&cfg, None, Some(&w));
+        assert_eq!(g.program.insts, h.program.insts);
+        assert_eq!(g.templates, h.templates);
     }
 
     #[test]

@@ -38,11 +38,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod campaign;
 mod fuzzer;
 mod generator;
 
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, TriageBucket};
 pub use fuzzer::{fuzz, Adversary, ContractKind, FuzzConfig, Report, Violation};
 pub use generator::{
-    generate, generate_with_template, init_cold_chain, GadgetTemplate, GenConfig, COLD_BASE,
-    PUBLIC_BASE, PUBLIC_SIZE, SECRET_BASE, SECRET_SIZE, STACK_TOP,
+    generate, generate_recorded, generate_with_template, init_cold_chain, GadgetTemplate,
+    GenConfig, GeneratedProgram, COLD_BASE, PUBLIC_BASE, PUBLIC_SIZE, SECRET_BASE, SECRET_SIZE,
+    STACK_TOP,
 };

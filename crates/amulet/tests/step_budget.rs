@@ -71,6 +71,54 @@ fn full_budget_reports_match_across_oracles() {
     }
 }
 
+/// A defense that never lets any µop begin execution: the pipeline
+/// commits nothing, the deadlock watchdog fires, and every *base*
+/// hardware run ends truncated (`exit != Halted`).
+struct StallForeverPolicy;
+
+impl protean_sim::DefensePolicy for StallForeverPolicy {
+    fn name(&self) -> String {
+        "stall-forever".to_string()
+    }
+
+    fn may_execute(
+        &self,
+        _u: &protean_sim::DynInst,
+        _tags: &protean_sim::RegTags,
+        _fr: &protean_sim::SpecFrontier,
+    ) -> bool {
+        false
+    }
+}
+
+/// When the base hardware run is truncated, no mutant has a comparison
+/// partner: the whole mutant loop must be skipped up front — no SEQ
+/// traces are paid for, `pairs_rejected` stays untouched (it counts
+/// genuine contract non-equivalence, not missing partners), and the
+/// skips are accounted under `no_partner`.
+#[test]
+fn truncated_base_run_skips_mutants_as_no_partner() {
+    let cfg = budget_cfg(60_000);
+    let r = fuzz(&cfg, &|| Box::new(StallForeverPolicy));
+    assert_eq!(
+        r.hw_truncated, cfg.programs as u64,
+        "every base run must deadlock under the stalling policy"
+    );
+    assert_eq!(
+        r.no_partner,
+        (cfg.programs * cfg.inputs_per_program) as u64,
+        "every mutant of every program is partnerless"
+    );
+    assert_eq!(
+        r.pairs_rejected, 0,
+        "partnerless mutants must not inflate the SEQ rejection stats"
+    );
+    assert_eq!(r.tests, 0, "nothing may be compared");
+    assert_eq!(r.violations, 0);
+    assert_eq!(r.false_positives, 0);
+    assert_eq!(r.committed_uops, 0, "a fully stalled core commits nothing");
+}
+
 /// An in-between budget: some generated programs finish inside it, some
 /// do not. The ones that finish are fuzzed normally; the ones that do
 /// not are skipped — and the two oracle backends agree exactly on which

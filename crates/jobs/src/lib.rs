@@ -99,15 +99,36 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    map_range_with(workers, 0..n, f)
+}
+
+/// Runs jobs over an arbitrary index `range` (absolute job indices are
+/// passed to `f`) on exactly `workers` threads, returning results in
+/// index order.
+///
+/// This is the chunked-work-queue primitive behind resumable campaign
+/// engines: a driver that partitions `0..total` into consecutive chunks
+/// and calls `map_range_with` per chunk gets results identical to one
+/// `map_indexed_with(workers, total, f)` call — concatenation over
+/// chunks commutes with the ordered merge (test-asserted) — so it can
+/// checkpoint after any chunk and resume from the next without changing
+/// a single result.
+pub fn map_range_with<T, F>(workers: usize, range: std::ops::Range<usize>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let (start, end) = (range.start, range.end);
+    let n = end.saturating_sub(start);
     if n == 0 {
         return Vec::new();
     }
     let workers = workers.max(1).min(n);
     if workers == 1 {
-        return (0..n)
+        return (start..end)
             .map(|i| match catch_unwind(AssertUnwindSafe(|| f(i))) {
                 Ok(v) => v,
-                Err(payload) => repanic(i, n, payload),
+                Err(payload) => repanic(i, end, payload),
             })
             .collect();
     }
@@ -118,7 +139,7 @@ where
     // unsafe-baseline campaign cell next to a cheap Protean cell) still
     // balance.
     let chunk = (n / (workers * 8)).max(1);
-    let cursor = AtomicUsize::new(0);
+    let cursor = AtomicUsize::new(start);
     let f = &f;
     let per_worker: Vec<Vec<(usize, std::thread::Result<T>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -126,11 +147,11 @@ where
                 scope.spawn(|| {
                     let mut out = Vec::new();
                     'grab: loop {
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
+                        let first = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if first >= end {
                             break;
                         }
-                        for i in start..(start + chunk).min(n) {
+                        for i in first..(first + chunk).min(end) {
                             let r = catch_unwind(AssertUnwindSafe(|| f(i)));
                             let failed = r.is_err();
                             out.push((i, r));
@@ -156,7 +177,7 @@ where
     let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
     for (i, r) in per_worker.into_iter().flatten() {
         match r {
-            Ok(v) => slots[i] = Some(v),
+            Ok(v) => slots[i - start] = Some(v),
             Err(payload) => {
                 if first_panic.as_ref().is_none_or(|(j, _)| i < *j) {
                     first_panic = Some((i, payload));
@@ -165,7 +186,7 @@ where
         }
     }
     if let Some((i, payload)) = first_panic {
-        repanic(i, n, payload);
+        repanic(i, end, payload);
     }
     slots
         .into_iter()
@@ -211,6 +232,53 @@ mod tests {
     fn empty_and_single_job_edge_cases() {
         assert_eq!(map_indexed_with(8, 0, |i| i), Vec::<usize>::new());
         assert_eq!(map_indexed_with(8, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn range_map_passes_absolute_indices() {
+        for workers in [1, 3] {
+            let got = map_range_with(workers, 10..25, |i| i * 2);
+            assert_eq!(got, (10..25).map(|i| i * 2).collect::<Vec<_>>());
+        }
+        assert_eq!(map_range_with(4, 7..7, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn chunked_range_maps_concatenate_to_one_full_map() {
+        // The resumable-campaign contract: partitioning 0..n into
+        // consecutive chunks and concatenating the per-chunk results
+        // reproduces the single-call output, at any worker count and
+        // any chunk boundary.
+        let work = |i: usize| (i as u64).wrapping_mul(0x9e3779b97f4a7c15);
+        let whole = map_indexed_with(3, 29, work);
+        for chunk in [1, 4, 7, 29, 100] {
+            let mut glued = Vec::new();
+            let mut at = 0;
+            while at < 29 {
+                let end = (at + chunk).min(29);
+                glued.extend(map_range_with(3, at..end, work));
+                at = end;
+            }
+            assert_eq!(glued, whole, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn range_panic_carries_absolute_index() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            map_range_with(4, 10..20, |i| {
+                if i == 13 {
+                    panic!("boom thirteen");
+                }
+                i
+            })
+        }))
+        .expect_err("job 13 must propagate");
+        let msg = err.downcast_ref::<String>().cloned().unwrap();
+        assert!(
+            msg.contains("job 13 of 20") && msg.contains("boom thirteen"),
+            "missing absolute job context: {msg}"
+        );
     }
 
     #[test]

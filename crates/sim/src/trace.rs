@@ -378,6 +378,39 @@ impl Trace {
         out
     }
 
+    /// A stable root-cause signature for violation triage: the *set* of
+    /// `(gate, rule)` pairs the defense fired during the run plus the
+    /// set of squash causes observed, both sorted — cycle counts, µop
+    /// identities, and event order are deliberately excluded, so two
+    /// runs that leak through the same mechanism produce the same
+    /// signature even when their inputs (and therefore their exact
+    /// timings) differ. Campaign triage keys its dedup buckets on this
+    /// string: one root cause, one bucket.
+    pub fn audit_signature(&self) -> String {
+        let mut rules: Vec<String> = self
+            .blocked_by_rule()
+            .iter()
+            .map(|(point, rule, _)| format!("{}/{rule}", point.name()))
+            .collect();
+        rules.sort();
+        rules.dedup();
+        let causes = self.squash_causes();
+        format!("rules[{}] squashes[{}]", rules.join(","), causes.join(","))
+    }
+
+    /// The sorted, deduplicated set of squash-cause names observed in
+    /// the run — one axis of the campaign engine's coverage map.
+    pub fn squash_causes(&self) -> Vec<&'static str> {
+        let mut causes: Vec<&'static str> = self
+            .uops
+            .iter()
+            .filter_map(|u| u.squash.map(|s| squash_name(s.cause)))
+            .collect();
+        causes.sort();
+        causes.dedup();
+        causes
+    }
+
     /// Renders the defense-decision audit log as text (at most
     /// `max_records` rows, plus a per-rule summary and exact totals).
     pub fn render_audit(&self, max_records: usize) -> String {
