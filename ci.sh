@@ -40,6 +40,15 @@ echo "== golden scheduler equivalence (release + debug)"
 cargo test -q --release --offline -p protean-bench --test golden_scheduler
 cargo test -q --offline -p protean-bench --test golden_scheduler
 
+echo "== flat scheduler differential (release + debug)"
+# The flat bitset/calendar-queue scheduler must be observationally
+# identical to the legacy ordered-set backend on random programs under
+# every defense. Run it named in both profiles: debug turns on the
+# cached-wheel-minimum recompute assert and the slot/seq consistency
+# asserts inside the flat backend.
+cargo test -q --release --offline -p protean-bench --test sched_flat_equiv
+cargo test -q --offline -p protean-bench --test sched_flat_equiv
+
 echo "== threaded oracle differential (release + debug)"
 # The closure-IR oracle fast mode must be bit-identical to the
 # reference interpreter — full ExecRecord streams, final state, the
@@ -61,6 +70,18 @@ PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" \
     cargo run -q --release --offline -p protean-bench --bin ablation_fixes -- --quick >/dev/null
 PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" PROTEAN_BENCH_SAMPLES=1 PROTEAN_BENCH_WARMUP=0 \
     cargo run -q --release --offline -p protean-bench --bin perf_smoke >/dev/null
+
+echo "== section profiler smoke (perf_smoke, PROTEAN_PROFILE=1)"
+# The profiler must run end to end and emit a schema-valid profile.json
+# (checked by the validate_json pass below) without disturbing the
+# simulation — it is a pure observer, same contract as the tracer.
+PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" PROTEAN_PROFILE=1 \
+    PROTEAN_BENCH_SAMPLES=1 PROTEAN_BENCH_WARMUP=0 \
+    cargo run -q --release --offline -p protean-bench --bin perf_smoke >/dev/null
+if [ ! -f "$BENCH_SMOKE_DIR/profile.json" ]; then
+    echo "PROTEAN_PROFILE=1 perf_smoke did not write profile.json" >&2
+    exit 1
+fi
 
 echo "== campaign_perf determinism (--quick, PROTEAN_JOBS=1 vs 4)"
 # The campaign-throughput bench writes a second, wall-time-free report
@@ -86,6 +107,17 @@ PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" PROTEAN_DECODE_CACHE=0 PROTEAN_JOBS=4 \
     PROTEAN_BENCH_SAMPLES=1 PROTEAN_BENCH_WARMUP=0 \
     cargo run -q --release --offline -p protean-bench --bin campaign_perf -- --quick >/dev/null
 cmp "$BENCH_SMOKE_DIR/campaign_perf_report.decoded.bak" "$BENCH_SMOKE_DIR/campaign_perf_report.json"
+
+echo "== campaign_perf scheduler-backend equivalence (--quick, PROTEAN_SCHED=btree)"
+# The flat scheduler is the default; forcing the legacy ordered-set
+# backend (PROTEAN_SCHED=btree) must leave the deterministic campaign
+# report byte-identical — the end-to-end complement of the
+# sched_flat_equiv property test above.
+cp "$BENCH_SMOKE_DIR/campaign_perf_report.json" "$BENCH_SMOKE_DIR/campaign_perf_report.flat.bak"
+PROTEAN_BENCH_DIR="$BENCH_SMOKE_DIR" PROTEAN_SCHED=btree PROTEAN_JOBS=4 \
+    PROTEAN_BENCH_SAMPLES=1 PROTEAN_BENCH_WARMUP=0 \
+    cargo run -q --release --offline -p protean-bench --bin campaign_perf -- --quick >/dev/null
+cmp "$BENCH_SMOKE_DIR/campaign_perf_report.flat.bak" "$BENCH_SMOKE_DIR/campaign_perf_report.json"
 
 echo "== campaign_perf oracle equivalence (--quick, PROTEAN_ORACLE=interp, jobs 1 and 4)"
 # The threaded-code SEQ oracle is the default; forcing the reference

@@ -138,4 +138,5 @@ fn main() {
 
     timing_rep.write_and_announce();
     det_rep.write_and_announce();
+    protean_bench::report::write_profile_report_if_enabled();
 }

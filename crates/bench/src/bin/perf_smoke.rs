@@ -114,4 +114,5 @@ fn main() {
     }
 
     report.write_and_announce();
+    protean_bench::report::write_profile_report_if_enabled();
 }

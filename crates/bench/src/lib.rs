@@ -148,6 +148,10 @@ pub struct RunResult {
     /// Cycles squashes spent blocked at the resolve gate (summed over
     /// threads).
     pub resolve_blocked_cycles: u64,
+    /// Issue-queue occupancy high-water mark (max over threads).
+    pub iq_hwm: u64,
+    /// Completion-wheel occupancy high-water mark (max over threads).
+    pub wheel_hwm: u64,
 }
 
 /// Runs `workload` under `defense` on `core`, preparing the binary per
@@ -199,6 +203,19 @@ pub fn run_workload(
             exec_blocked_cycles: sum(|s| s.exec_blocked_cycles),
             wakeup_blocked_cycles: sum(|s| s.wakeup_blocked_cycles),
             resolve_blocked_cycles: sum(|s| s.resolve_blocked_cycles),
+            // Occupancy peaks are per-core facts: max, not sum.
+            iq_hwm: result
+                .threads
+                .iter()
+                .map(|t| t.stats.iq_hwm)
+                .max()
+                .unwrap_or(0),
+            wheel_hwm: result
+                .threads
+                .iter()
+                .map(|t| t.stats.wheel_hwm)
+                .max()
+                .unwrap_or(0),
         }
     } else {
         let (program, init) = &workload.threads[0];
@@ -219,6 +236,8 @@ pub fn run_workload(
             exec_blocked_cycles: result.stats.exec_blocked_cycles,
             wakeup_blocked_cycles: result.stats.wakeup_blocked_cycles,
             resolve_blocked_cycles: result.stats.resolve_blocked_cycles,
+            iq_hwm: result.stats.iq_hwm,
+            wheel_hwm: result.stats.wheel_hwm,
         }
     }
 }

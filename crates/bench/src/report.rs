@@ -172,8 +172,9 @@ impl BenchReport {
 }
 
 /// The standard measurement fields shared by every per-cell row:
-/// normalized runtime, raw cycles, committed µops, and the per-gate
-/// defense cycle-attribution counters.
+/// normalized runtime, raw cycles, committed µops, the per-gate
+/// defense cycle-attribution counters, and the scheduler occupancy
+/// high-water marks (trailing fields — schema-compatible additions).
 pub fn measure_fields(r: &crate::RunResult, norm: f64) -> Vec<(&'static str, Json)> {
     vec![
         ("norm", Json::F64(norm)),
@@ -185,7 +186,35 @@ pub fn measure_fields(r: &crate::RunResult, norm: f64) -> Vec<(&'static str, Jso
             "resolve_blocked_cycles",
             Json::U64(r.resolve_blocked_cycles),
         ),
+        ("iq_hwm", Json::U64(r.iq_hwm)),
+        ("wheel_hwm", Json::U64(r.wheel_hwm)),
     ]
+}
+
+/// Writes a `profile.json` report from the process-wide section-timer
+/// totals — a no-op unless the run had `PROTEAN_PROFILE` set. Call at
+/// the tail of a bench main, after the bench's own report.
+pub fn write_profile_report_if_enabled() {
+    if !protean_sim::profile::enabled() {
+        return;
+    }
+    let totals = protean_sim::profile::totals();
+    let all: u64 = totals.iter().map(|&(_, ns, _)| ns).sum();
+    let mut rep = BenchReport::new("profile");
+    for (section, nanos, calls) in totals {
+        let share = if all == 0 {
+            0.0
+        } else {
+            nanos as f64 * 100.0 / all as f64
+        };
+        rep.row(vec![
+            ("section", Json::str(section)),
+            ("nanos", Json::U64(nanos)),
+            ("calls", Json::U64(calls)),
+            ("share_pct", Json::F64(share)),
+        ]);
+    }
+    rep.write_and_announce();
 }
 
 #[cfg(test)]

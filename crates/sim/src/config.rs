@@ -109,6 +109,12 @@ pub struct CoreConfig {
     /// kept for differential testing. The `PROTEAN_DECODE_CACHE`
     /// environment variable overrides (set to `0` to disable).
     pub decode_cache: bool,
+    /// Use the flat ROB-slot scheduler (bitset status sets, calendar-
+    /// queue completion wheel; see `crate::sched`). `false` falls back
+    /// to the legacy ordered-set scheduler — observationally identical,
+    /// kept for differential testing. The `PROTEAN_SCHED` environment
+    /// variable overrides (set to `btree` to fall back).
+    pub flat_sched: bool,
 }
 
 impl CoreConfig {
@@ -160,6 +166,7 @@ impl CoreConfig {
             mem_prot: MemProtTracking::TaggedL1d,
             trace: false,
             decode_cache: true,
+            flat_sched: true,
         }
     }
 
@@ -213,6 +220,7 @@ impl CoreConfig {
             mem_prot: MemProtTracking::TaggedL1d,
             trace: false,
             decode_cache: true,
+            flat_sched: true,
         }
     }
 
@@ -272,6 +280,7 @@ impl CoreConfig {
             mem_prot: MemProtTracking::TaggedL1d,
             trace: false,
             decode_cache: true,
+            flat_sched: true,
         }
     }
 }

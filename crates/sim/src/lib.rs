@@ -45,6 +45,7 @@ mod defense;
 pub mod json;
 mod multicore;
 mod pipeline;
+pub mod profile;
 mod sched;
 mod stats;
 pub mod trace;

@@ -13,7 +13,8 @@
 //! point; the unsafe baseline is the policy that never blocks anything.
 
 use crate::defense::{BlockPoint, DefensePolicy, RegTags, Seq, SpecFrontier, SquashKind, NO_ROOT};
-use crate::sched::{FetchEntry, FetchQueue, Scheduler};
+use crate::profile::{Section, SectionTimes};
+use crate::sched::{FetchEntry, FetchQueue, Scheduler, SetId};
 use crate::trace::{Trace, Tracer};
 use crate::{Btb, Rsb, TagePredictor};
 use crate::{Cache, CoreConfig, MemProtTracking, Stats};
@@ -320,6 +321,8 @@ pub struct Core<'a> {
     exec_blocked: Vec<Seq>,
     /// Scratch for draining the completion wheel.
     completions: Vec<Seq>,
+    /// Scratch for draining dependent lists in `publish_ready`.
+    dep_scratch: Vec<Seq>,
 
     // Memory.
     mem: Memory,
@@ -347,6 +350,12 @@ pub struct Core<'a> {
     debug_blocked: bool,
     /// `PROTEAN_SIM_DEBUG=1`, read once at construction.
     sim_debug: bool,
+    /// Section profiling enabled (`PROTEAN_PROFILE`, read once): one
+    /// boolean branch per tick when off (see [`crate::profile`]).
+    profile_on: bool,
+    /// Per-core section accumulator, flushed into the process-wide
+    /// totals at the end of every run.
+    profile: SectionTimes,
 }
 
 const WATCHDOG_CYCLES: u64 = 100_000;
@@ -367,6 +376,22 @@ impl<'a> Core<'a> {
             Ok(v) => v.trim() != "0",
             Err(_) => cfg.decode_cache,
         };
+        let flat_sched = match std::env::var("PROTEAN_SCHED") {
+            Ok(v) => v.trim() != "btree",
+            Err(_) => cfg.flat_sched,
+        };
+        // The largest completion latency any µop can schedule, for the
+        // calendar queue's ring sizing: a DRAM-missing load (or any cache
+        // hit, +1 for the load pipe), the multiplier, and the worst-case
+        // divider (base + 64 significant bits / 2; faults use the short
+        // fault latency).
+        let max_completion_latency = (1 + cfg.mem_latency)
+            .max(1 + cfg.l1d.latency)
+            .max(1 + cfg.l2.latency)
+            .max(1 + cfg.l3.latency)
+            .max(cfg.mul_latency)
+            .max(protean_isa::DIV_BASE_LATENCY + 32)
+            .max(protean_isa::DIV_FAULT_LATENCY);
         let mut core = Core {
             fetch_idx: None,
             fetch_queue: FetchQueue::default(),
@@ -389,10 +414,11 @@ impl<'a> Core<'a> {
             lq_used: 0,
             sq_used: 0,
             div_busy_until: 0,
-            sched: Scheduler::new(n_phys),
+            sched: Scheduler::new(n_phys, cfg.rob_size, max_completion_latency, flat_sched),
             cached_frontier: None,
             exec_blocked: Vec::new(),
             completions: Vec::new(),
+            dep_scratch: Vec::new(),
             mem: Memory::default(),
             l1d: Cache::new(cfg.l1d, meta_fill),
             l1i: Cache::new(cfg.l1i, true),
@@ -415,6 +441,8 @@ impl<'a> Core<'a> {
             no_commit_cycles: 0,
             debug_blocked: std::env::var_os("PROTEAN_DEBUG_BLOCKED").is_some(),
             sim_debug: std::env::var_os("PROTEAN_SIM_DEBUG").is_some_and(|v| v == "1"),
+            profile_on: crate::profile::enabled(),
+            profile: SectionTimes::default(),
         };
         core.reinit(initial);
         core
@@ -495,6 +523,7 @@ impl<'a> Core<'a> {
         self.cached_frontier = None;
         self.exec_blocked.clear();
         self.completions.clear();
+        self.dep_scratch.clear();
         self.mem.clone_from(&initial.mem);
         let meta_fill = self.policy.l1d_meta_fill();
         self.l1d.reset(meta_fill);
@@ -574,15 +603,27 @@ impl<'a> Core<'a> {
                 self.halted = Some(SimExit::Deadlock);
                 break;
             }
-            self.tick();
-            // Idle-cycle fast-forward: when a tick changed nothing, every
-            // cycle until the next scheduled event is an exact repeat —
-            // jump there and bulk-attribute the skipped cycles. Disabled
-            // under PROTEAN_DEBUG_BLOCKED so the per-cycle stderr lines
-            // stay per-cycle.
-            if !self.sched.progress() && !self.debug_blocked {
-                self.fast_forward(max_cycles);
+            // Idle-cycle fast-forward after the tick: when a tick changed
+            // nothing, every cycle until the next scheduled event is an
+            // exact repeat — jump there and bulk-attribute the skipped
+            // cycles. Disabled under PROTEAN_DEBUG_BLOCKED so the
+            // per-cycle stderr lines stay per-cycle.
+            if !self.profile_on {
+                self.tick();
+                if !self.sched.progress() && !self.debug_blocked {
+                    self.fast_forward(max_cycles);
+                }
+            } else {
+                self.tick_profiled();
+                if !self.sched.progress() && !self.debug_blocked {
+                    let t = std::time::Instant::now();
+                    self.fast_forward(max_cycles);
+                    self.profile.add(Section::FastForward, t.elapsed());
+                }
             }
+        }
+        if self.profile_on {
+            crate::profile::flush(&mut self.profile);
         }
         let mut stats = std::mem::take(&mut self.stats);
         stats.cycles = self.cycle;
@@ -594,6 +635,8 @@ impl<'a> Core<'a> {
         stats.l2_misses = self.l2.misses;
         stats.l3_hits = self.l3.hits;
         stats.l3_misses = self.l3.misses;
+        stats.iq_hwm = self.sched.iq_hwm();
+        stats.wheel_hwm = self.sched.wheel_hwm();
         stats.policy = self.policy.stats();
         let mut cache_obs = self.l1d.tag_observation();
         cache_obs.push(u64::MAX); // level separator
@@ -665,9 +708,7 @@ impl<'a> Core<'a> {
         let head_seq = self.rob.front().map(|u| u.seq).unwrap_or(Seq::MAX);
         let oldest_unresolved_branch = self
             .sched
-            .unresolved_branches
-            .first()
-            .copied()
+            .first(SetId::UnresolvedBranches)
             .unwrap_or(Seq::MAX);
         let fr = SpecFrontier {
             head_seq,
@@ -710,6 +751,36 @@ impl<'a> Core<'a> {
         self.issue();
         self.rename();
         self.fetch();
+        self.cycle += 1;
+        self.no_commit_cycles += 1;
+    }
+
+    /// One cycle with section profiling: [`Core::tick`] with a lap at
+    /// every stage boundary. A separate body so the unprofiled tick
+    /// carries no `Instant` reads at all; `#[cold]` keeps it out of the
+    /// hot path's code layout.
+    #[cold]
+    fn tick_profiled(&mut self) {
+        let mut t = std::time::Instant::now();
+        self.sched.clear_progress();
+        self.complete_and_wakeup();
+        t = self.profile.lap(t, Section::Wakeup);
+        self.capture_store_data();
+        t = self.profile.lap(t, Section::StoreData);
+        self.resolve_branches();
+        t = self.profile.lap(t, Section::Resolve);
+        self.commit();
+        t = self.profile.lap(t, Section::Commit);
+        // `issue` books its `execute_uop` spans to `Execute`; the issue
+        // lap subtracts them so the two sections are disjoint.
+        let exec_before = self.profile.nanos_of(Section::Execute);
+        self.issue();
+        let exec_delta = self.profile.nanos_of(Section::Execute) - exec_before;
+        t = self.profile.lap_minus(t, Section::Issue, exec_delta);
+        self.rename();
+        t = self.profile.lap(t, Section::Rename);
+        self.fetch();
+        self.profile.lap(t, Section::Fetch);
         self.cycle += 1;
         self.no_commit_cycles += 1;
     }
@@ -763,11 +834,11 @@ impl<'a> Core<'a> {
         // and every defense-denied issue candidate.
         let buggy = self.policy.pending_squash_bug();
         let resolve_candidates = if buggy {
-            self.sched.resolve_pending.len().min(1)
+            self.sched.len(SetId::ResolvePending).min(1)
         } else {
-            self.sched.resolve_pending.len()
+            self.sched.len(SetId::ResolvePending)
         };
-        self.stats.wakeup_blocked_cycles += delta * self.sched.wakeup_pending.len() as u64;
+        self.stats.wakeup_blocked_cycles += delta * self.sched.len(SetId::WakeupPending) as u64;
         self.stats.resolve_blocked_cycles += delta * resolve_candidates as u64;
         self.stats.exec_blocked_cycles += delta * self.exec_blocked.len() as u64;
         if self.tracer.is_some() {
@@ -778,13 +849,13 @@ impl<'a> Core<'a> {
                 scratch.clear();
                 match point {
                     BlockPoint::Wakeup => {
-                        scratch.extend(self.sched.wakeup_pending.iter().copied());
+                        self.sched.collect(SetId::WakeupPending, &mut scratch);
                     }
                     BlockPoint::Resolve if buggy => {
-                        scratch.extend(self.sched.resolve_pending.first().copied());
+                        scratch.extend(self.sched.first(SetId::ResolvePending));
                     }
                     BlockPoint::Resolve => {
-                        scratch.extend(self.sched.resolve_pending.iter().copied());
+                        self.sched.collect(SetId::ResolvePending, &mut scratch);
                     }
                     BlockPoint::Execute => scratch.extend(self.exec_blocked.iter().copied()),
                 }
@@ -860,23 +931,27 @@ impl<'a> Core<'a> {
     /// its next unready source.
     fn publish_ready(&mut self, phys: usize) {
         self.prf_ready[phys] = true;
-        let deps = self.sched.take_deps(phys);
+        let mut deps = std::mem::take(&mut self.dep_scratch);
+        deps.clear();
+        self.sched.drain_deps(phys, &mut deps);
         for &seq in &deps {
             let Some(i) = self.rob_index(seq) else {
-                continue; // squashed; sequence numbers are never reused
+                continue; // squashed (legacy backend's lazy filter);
+                          // sequence numbers are never reused
             };
             if self.rob[i].status != UopStatus::Waiting {
                 continue;
             }
             if self.operands_ready(&self.rob[i]) {
-                self.sched.issue_ready.insert(seq);
+                self.sched.insert(SetId::IssueReady, seq, i);
             } else {
                 let p = self
                     .first_unready_src(&self.rob[i])
                     .expect("not-ready µop has an unready source");
-                self.sched.register_dep(p, seq);
+                self.sched.register_dep(p, seq, i);
             }
         }
+        self.dep_scratch = deps;
     }
 
     fn complete_and_wakeup(&mut self) {
@@ -910,7 +985,7 @@ impl<'a> Core<'a> {
                 self.prf_done[d.new_phys] = true;
             }
             if !store_needs_data && has_dsts {
-                self.sched.wakeup_pending.insert(seq);
+                self.sched.insert(SetId::WakeupPending, seq, i);
             }
             if let Some(t) = self.tracer.as_mut() {
                 t.on_complete(seq, cycle);
@@ -920,12 +995,12 @@ impl<'a> Core<'a> {
         self.completions = completions;
         // Wakeup: grant or count every pending candidate, in age order —
         // exactly the candidates the old full-ROB scan would visit.
-        if self.sched.wakeup_pending.is_empty() {
+        if self.sched.is_empty(SetId::WakeupPending) {
             return;
         }
         let mut scratch = std::mem::take(&mut self.sched.scratch);
         scratch.clear();
-        scratch.extend(self.sched.wakeup_pending.iter().copied());
+        self.sched.collect(SetId::WakeupPending, &mut scratch);
         for &seq in &scratch {
             let i = self.rob_index(seq).expect("pending µop is in the ROB");
             if self.policy.may_wakeup(&self.rob[i], &self.tags, &fr) {
@@ -934,7 +1009,7 @@ impl<'a> Core<'a> {
                     let phys = self.rob[i].dsts[k].new_phys;
                     self.publish_ready(phys);
                 }
-                self.sched.wakeup_pending.remove(&seq);
+                self.sched.remove(SetId::WakeupPending, seq, i);
                 self.sched.mark_progress();
             } else {
                 self.stats.wakeup_blocked_cycles += 1;
@@ -962,12 +1037,12 @@ impl<'a> Core<'a> {
     fn capture_store_data(&mut self) {
         // Candidates: stores/calls that computed their address but have
         // not yet captured their data — exactly the store-waiter set.
-        if self.sched.store_waiters.is_empty() {
+        if self.sched.is_empty(SetId::StoreWaiters) {
             return;
         }
         let mut scratch = std::mem::take(&mut self.sched.scratch);
         scratch.clear();
-        scratch.extend(self.sched.store_waiters.iter().copied());
+        self.sched.collect(SetId::StoreWaiters, &mut scratch);
         for &seq in &scratch {
             let i = self.rob_index(seq).expect("store waiter is in the ROB");
             let u = &self.rob[i];
@@ -1005,10 +1080,10 @@ impl<'a> Core<'a> {
                 if matches!(u.status, UopStatus::WaitingData) {
                     u.status = UopStatus::Done;
                     if !u.dsts.is_empty() {
-                        self.sched.wakeup_pending.insert(seq);
+                        self.sched.insert(SetId::WakeupPending, seq, i);
                     }
                 }
-                self.sched.store_waiters.remove(&seq);
+                self.sched.remove(SetId::StoreWaiters, seq, i);
                 self.sched.mark_progress();
             }
         }
@@ -1022,7 +1097,7 @@ impl<'a> Core<'a> {
     fn resolve_branches(&mut self) {
         // Candidates: executed, unresolved, mispredicted branches —
         // exactly the resolve-pending set, in age order.
-        if self.sched.resolve_pending.is_empty() {
+        if self.sched.is_empty(SetId::ResolvePending) {
             return;
         }
         let fr = self.frontier();
@@ -1030,7 +1105,7 @@ impl<'a> Core<'a> {
         let mut chosen: Option<usize> = None;
         let mut scratch = std::mem::take(&mut self.sched.scratch);
         scratch.clear();
-        scratch.extend(self.sched.resolve_pending.iter().copied());
+        self.sched.collect(SetId::ResolvePending, &mut scratch);
         for &seq in &scratch {
             let i = self
                 .rob_index(seq)
@@ -1070,8 +1145,8 @@ impl<'a> Core<'a> {
                 u.actual_taken,
             )
         };
-        self.sched.resolve_pending.remove(&seq);
-        self.sched.unresolved_branches.remove(&seq);
+        self.sched.remove(SetId::ResolvePending, seq, rob_index);
+        self.sched.remove(SetId::UnresolvedBranches, seq, rob_index);
         self.invalidate_frontier();
         self.sched.mark_progress();
         self.stats.branch_squashes += 1;
@@ -1102,6 +1177,7 @@ impl<'a> Core<'a> {
                 break;
             }
             let u = self.rob.pop_back().expect("checked non-empty");
+            self.sched.on_squash_pop(u.seq);
             self.stats.squashed += 1;
             if let Some(t) = self.tracer.as_mut() {
                 t.on_squash(u.seq, self.cycle, kind);
@@ -1121,9 +1197,11 @@ impl<'a> Core<'a> {
                 self.prf_ready[d.new_phys] = false;
             }
         }
-        // Squashed sequence numbers never reappear, so the ordered sets
-        // are cleaned eagerly; wheel slots and dependent lists are
-        // filtered lazily against the ROB when drained.
+        // Squashed sequence numbers never reappear. The flat backend
+        // cleaned each popped µop in `on_squash_pop`; the legacy backend
+        // cleans its ordered sets in bulk here and filters wheel slots
+        // and dependent lists lazily when drained. Both leave stale
+        // completion events in the wheel (see `crate::sched`).
         self.sched.squash_after(surviving);
         self.invalidate_frontier();
         self.policy.on_squash(surviving);
@@ -1176,15 +1254,30 @@ impl<'a> Core<'a> {
                 // allowed once non-speculative).
                 return;
             }
+            // Scheduler entries for the head must be cleared while it
+            // still occupies ROB index 0: the flat backend frees the
+            // head's ring slot at `on_commit_head`.
+            {
+                let head = self.rob.front().expect("checked above");
+                let seq = head.seq;
+                if !head.wakeup_done && !head.dsts.is_empty() {
+                    // The head may commit while its wakeup is still
+                    // denied — its pending entry must not outlive its
+                    // ROB slot.
+                    self.sched.remove(SetId::WakeupPending, seq, 0);
+                }
+                if head.is_load() {
+                    self.sched.remove(SetId::InflightLoads, seq, 0);
+                }
+                if head.is_store() {
+                    self.sched.remove(SetId::InflightStores, seq, 0);
+                }
+            }
             let u = self.rob.pop_front().expect("head exists");
+            self.sched.on_commit_head();
             self.no_commit_cycles = 0;
             self.invalidate_frontier();
             self.sched.mark_progress();
-            if !u.wakeup_done && !u.dsts.is_empty() {
-                // The head may commit while its wakeup is still denied —
-                // its pending entry must not outlive its ROB slot.
-                self.sched.wakeup_pending.remove(&u.seq);
-            }
             self.stats.committed += 1;
             if let Some(t) = self.tracer.as_mut() {
                 t.on_commit(u.seq, self.cycle);
@@ -1192,12 +1285,10 @@ impl<'a> Core<'a> {
             if u.is_load() {
                 self.lq_used -= 1;
                 self.stats.loads += 1;
-                self.sched.inflight_loads.remove(&u.seq);
             }
             if u.is_store() {
                 self.sq_used -= 1;
                 self.stats.stores += 1;
-                self.sched.inflight_stores.remove(&u.seq);
             }
             if u.inst.is_cond_branch() || u.inst.is_indirect_branch() {
                 self.stats.branches += 1;
@@ -1341,7 +1432,7 @@ impl<'a> Core<'a> {
         // denied this tick (an identical set would be denied every
         // skipped idle cycle).
         self.exec_blocked.clear();
-        if self.sched.issue_ready.is_empty() {
+        if self.sched.is_empty(SetId::IssueReady) {
             return;
         }
         let fr = self.frontier();
@@ -1349,12 +1440,9 @@ impl<'a> Core<'a> {
         // ready or not — the old scan broke upon reaching the
         // (iq_size+1)-th waiting entry, so that entry's sequence number
         // is the exclusive cutoff for ready candidates.
-        let cutoff = if self.sched.waiting.len() > self.cfg.iq_size {
-            *self
-                .sched
-                .waiting
-                .iter()
-                .nth(self.cfg.iq_size)
+        let cutoff = if self.sched.len(SetId::Waiting) > self.cfg.iq_size {
+            self.sched
+                .nth(SetId::Waiting, self.cfg.iq_size)
                 .expect("length checked")
         } else {
             Seq::MAX
@@ -1365,7 +1453,8 @@ impl<'a> Core<'a> {
         let mut pending_violation: Option<(Seq, u32)> = None;
         let mut scratch = std::mem::take(&mut self.sched.scratch);
         scratch.clear();
-        scratch.extend(self.sched.issue_ready.range(..cutoff).copied());
+        self.sched
+            .collect_below(SetId::IssueReady, cutoff, &mut scratch);
 
         for &seq in &scratch {
             if issued >= self.cfg.issue_width || (alu_slots == 0 && mem_slots == 0) {
@@ -1401,15 +1490,23 @@ impl<'a> Core<'a> {
                 continue;
             }
             // Execute (false = blocked, e.g. a partial store overlap).
-            if self.execute_uop(i, &mut pending_violation) {
+            let executed = if !self.profile_on {
+                self.execute_uop(i, &mut pending_violation)
+            } else {
+                let t = std::time::Instant::now();
+                let ok = self.execute_uop(i, &mut pending_violation);
+                self.profile.add(Section::Execute, t.elapsed());
+                ok
+            };
+            if executed {
                 issued += 1;
                 if is_mem {
                     mem_slots -= 1;
                 } else {
                     alu_slots -= 1;
                 }
-                self.sched.waiting.remove(&seq);
-                self.sched.issue_ready.remove(&seq);
+                self.sched.remove(SetId::Waiting, seq, i);
+                self.sched.remove(SetId::IssueReady, seq, i);
                 self.sched.mark_progress();
                 if self.tracer.is_some() {
                     let cycle = self.cycle;
@@ -1533,7 +1630,7 @@ impl<'a> Core<'a> {
                         u.resolved = true;
                         u.seq
                     };
-                    self.sched.unresolved_branches.remove(&seq);
+                    self.sched.remove(SetId::UnresolvedBranches, seq, i);
                     self.invalidate_frontier();
                 }
                 return ok;
@@ -1574,13 +1671,14 @@ impl<'a> Core<'a> {
                 newly_mispredicted = true;
             }
         }
-        self.sched.schedule_completion(cycle + latency as u64, seq);
+        self.sched
+            .schedule_completion(cycle + latency as u64, seq, i);
         if newly_resolved {
-            self.sched.unresolved_branches.remove(&seq);
+            self.sched.remove(SetId::UnresolvedBranches, seq, i);
             self.invalidate_frontier();
         }
         if newly_mispredicted {
-            self.sched.resolve_pending.insert(seq);
+            self.sched.insert(SetId::ResolvePending, seq, i);
         }
         true
     }
@@ -1595,19 +1693,20 @@ impl<'a> Core<'a> {
         // found at positions `(0..i).rev()`: sequence numbers are
         // assigned in ROB order, so set order equals position order.
         let mut fwd: Option<(u64, bool, Seq, bool, Seq)> = None;
-        for &s_seq in self.sched.inflight_stores.range(..seq).rev() {
+        let mut blocked = false;
+        self.sched.for_each_store_older(seq, i, |s_seq| {
             let j = self
                 .rob_index(s_seq)
                 .expect("in-flight store set entry is in the ROB");
             let s = &self.rob[j];
-            let Some(m) = &s.mem else { continue };
-            let Some(s_addr) = m.addr else { continue }; // unknown addr: speculate past
-                                                         // Widen to u128: fuzzer-generated addresses reach u64::MAX,
-                                                         // where `addr + size` overflows under debug overflow checks.
+            let Some(m) = &s.mem else { return true };
+            let Some(s_addr) = m.addr else { return true }; // unknown addr: speculate past
+                                                            // Widen to u128: fuzzer-generated addresses reach u64::MAX,
+                                                            // where `addr + size` overflows under debug overflow checks.
             let s_end = s_addr as u128 + m.size as u128;
             let l_end = addr as u128 + size as u128;
             if s_end <= addr as u128 || l_end <= s_addr as u128 {
-                continue; // no overlap
+                return true; // no overlap
             }
             // Overlap with the youngest older store.
             if s_addr <= addr && s_end >= l_end && m.data_ready {
@@ -1624,9 +1723,13 @@ impl<'a> Core<'a> {
                     m.data_taint,
                     s.seq,
                 ));
-                break;
+            } else {
+                // Partial overlap or data not ready: cannot issue yet.
+                blocked = true;
             }
-            // Partial overlap or data not ready: cannot issue yet.
+            false
+        });
+        if blocked {
             return false;
         }
 
@@ -1680,13 +1783,14 @@ impl<'a> Core<'a> {
             }
             _ => unreachable!("execute_load on non-load"),
         }
-        self.sched.schedule_completion(cycle + latency as u64, seq);
+        self.sched
+            .schedule_completion(cycle + latency as u64, seq, i);
         if newly_resolved {
-            self.sched.unresolved_branches.remove(&seq);
+            self.sched.remove(SetId::UnresolvedBranches, seq, i);
             self.invalidate_frontier();
         }
         if newly_mispredicted {
-            self.sched.resolve_pending.insert(seq);
+            self.sched.insert(SetId::ResolvePending, seq, i);
         }
         // Policy hook (access predictor resolution, taint from memory).
         let mut u = self.rob[i].clone();
@@ -1709,22 +1813,22 @@ impl<'a> Core<'a> {
         // and overlaps (and did not forward from this or a younger
         // store). The in-flight load set replaces the old scan over ROB
         // positions `i + 1..` — same µops, same (age) order.
-        for &l_seq in self.sched.inflight_loads.range(seq + 1..) {
+        self.sched.for_each_load_younger(seq, i, |l_seq| {
             let j = self
                 .rob_index(l_seq)
                 .expect("in-flight load set entry is in the ROB");
             let l = &self.rob[j];
-            let Some(m) = &l.mem else { continue };
-            let Some(l_addr) = m.addr else { continue };
+            let Some(m) = &l.mem else { return true };
+            let Some(l_addr) = m.addr else { return true };
             // u128 as in `execute_load`: no overflow near u64::MAX.
             let l_end = l_addr as u128 + m.size as u128;
             let s_end = addr as u128 + size as u128;
             if s_end <= l_addr as u128 || l_end <= addr as u128 {
-                continue;
+                return true;
             }
             if let Some(f) = m.fwd_from {
                 if f >= seq {
-                    continue; // forwarded from this store or a younger one
+                    return true; // forwarded from this store or a younger one
                 }
             }
             // Violation: squash from the load (inclusive).
@@ -1732,15 +1836,15 @@ impl<'a> Core<'a> {
             if pending_violation.is_none_or(|(s, _)| candidate.0 < s) {
                 *pending_violation = Some(candidate);
             }
-            break;
-        }
+            false
+        });
         let u = &mut self.rob[i];
         u.status = UopStatus::Executing(cycle + 1);
         u.issue_cycle = cycle;
         let m = u.mem.as_mut().expect("store has mem state");
         m.addr = Some(addr);
-        self.sched.schedule_completion(cycle + 1, seq);
-        self.sched.store_waiters.insert(seq);
+        self.sched.schedule_completion(cycle + 1, seq, i);
+        self.sched.insert(SetId::StoreWaiters, seq, i);
         true
     }
 
@@ -1821,6 +1925,11 @@ impl<'a> Core<'a> {
             self.fetch_queue.advance_head();
             let seq = self.next_seq;
             self.next_seq += 1;
+            // Register the µop's ROB position with the scheduler before
+            // any set insert refers to it (it will be pushed at index
+            // `rob_i` below).
+            let rob_i = self.rob.len();
+            self.sched.on_dispatch(seq);
 
             // Sources first (they read the pre-update rename map).
             let srcs: InlineVec<(Reg, usize), 3> = d
@@ -1869,11 +1978,11 @@ impl<'a> Core<'a> {
 
             if d.is_load {
                 self.lq_used += 1;
-                self.sched.inflight_loads.insert(seq);
+                self.sched.insert(SetId::InflightLoads, seq, rob_i);
             }
             if d.is_store {
                 self.sq_used += 1;
-                self.sched.inflight_stores.insert(seq);
+                self.sched.insert(SetId::InflightStores, seq, rob_i);
             }
 
             let mem = if d.is_mem {
@@ -1936,17 +2045,17 @@ impl<'a> Core<'a> {
             // Dispatch into the scheduler: every µop enters the waiting
             // set; ready ones go straight to the issue-ready set, the
             // rest park on one unready source register each.
-            self.sched.waiting.insert(seq);
+            self.sched.insert(SetId::Waiting, seq, rob_i);
             if self.operands_ready(&u) {
-                self.sched.issue_ready.insert(seq);
+                self.sched.insert(SetId::IssueReady, seq, rob_i);
             } else {
                 let p = self
                     .first_unready_src(&u)
                     .expect("not-ready µop has an unready source");
-                self.sched.register_dep(p, seq);
+                self.sched.register_dep(p, seq, rob_i);
             }
             if d.is_branch {
-                self.sched.unresolved_branches.insert(seq);
+                self.sched.insert(SetId::UnresolvedBranches, seq, rob_i);
             }
             self.invalidate_frontier();
             self.sched.mark_progress();

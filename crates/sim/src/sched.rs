@@ -7,9 +7,9 @@
 //! sequence number ([`Seq`]), all maintained incrementally by the
 //! pipeline:
 //!
-//! * a **completion event wheel** (`BTreeMap<cycle, Vec<Seq>>`): a µop
-//!   entering execution schedules exactly one completion event, so the
-//!   completion stage touches only µops finishing *this* cycle;
+//! * a **completion event wheel**: a µop entering execution schedules
+//!   exactly one completion event, so the completion stage touches only
+//!   µops finishing *this* cycle;
 //! * **per-physical-register dependent lists**: a dispatched µop whose
 //!   operands are not ready registers on one unready source; when that
 //!   register is written back the list is drained and the µop either
@@ -32,11 +32,57 @@
 //!   resolved): its minimum is the speculative frontier's
 //!   `oldest_unresolved_branch`, making the frontier O(1) to snapshot.
 //!
-//! Sequence numbers are unique and never reused, so stale entries (from
-//! squashed µops) are filtered lazily: wheel slots and dependent lists
-//! are checked against the ROB when drained, while the ordered sets are
-//! cleaned eagerly on squash with `split_off` (everything younger than
-//! the surviving sequence is discarded in one O(log n) operation).
+//! # Flat, ROB-slot-indexed representation
+//!
+//! Every one of those sets holds µops that live in a ROB bounded at
+//! `rob_size` entries, so the default [`FlatSched`] backs them with
+//! fixed-capacity **bitsets over ROB ring slots** instead of ordered
+//! trees. The scheduler mirrors the ROB ring with two monotonic
+//! counters: `head_pos` (incremented when the head commits) and
+//! `tail_pos` (incremented at dispatch, decremented per squashed µop),
+//! with `tail_pos - head_pos == rob.len()` at every pipeline step. The
+//! µop at ROB index `i` occupies slot `(head_pos + i) & (cap - 1)` where
+//! `cap = rob_size.next_power_of_two()`; the window never exceeds `cap`
+//! entries, so the mapping is collision-free *even across squashes*
+//! (naive `seq % rob_size` indexing is not: squashes leave gaps in the
+//! live sequence numbers, so the in-ROB seq spread is unbounded).
+//!
+//! Age order ≡ seq order ≡ ROB position order (sequence numbers are
+//! assigned at dispatch and never reused), so age-ordered iteration of a
+//! bitset is a trailing-zeros walk **anchored at the ROB head slot**:
+//! the cyclic window `[head_slot, head_slot + len)` splits into at most
+//! two linear word ranges, walked in order. This reproduces the
+//! `BTreeSet` iteration order of the legacy scheduler exactly.
+//!
+//! The completion wheel becomes a **calendar queue**: a power-of-two
+//! ring of per-cycle buckets sized past the maximum in-tree completion
+//! latency (a DRAM-missing load, the worst-case divider, the
+//! multiplier), plus a small sorted overflow list as a safety net for
+//! events beyond the horizon. Bucket `Vec`s are pooled (cleared, never
+//! dropped), so the steady state allocates nothing. Each event carries
+//! its slot and a **per-slot generation stamp** (bumped at dispatch), so
+//! a stale event from a squashed µop is recognised in O(1) — generation
+//! mismatch, or slot outside the live window — without the legacy
+//! seq-against-ROB filter. Stale events are deliberately *left in the
+//! wheel* on squash, in both implementations: the cached minimum
+//! deadline ([`Scheduler::next_completion_cycle`], an O(1) field
+//! maintained on push and recomputed on drain) feeds idle-cycle
+//! fast-forward, and removing stale events would change jump targets —
+//! and with them the blocked-cycle span structure of the trace — away
+//! from the legacy scheduler's stale-inclusive `BTreeMap` minimum.
+//!
+//! Per-physical-register dependent lists live in one **arena of
+//! intrusive doubly-linked nodes indexed by ROB slot** (a µop parks on
+//! at most one register at a time). Squash unlinks a parked node in
+//! O(1) — lazy filtering would corrupt lists when a squashed µop's slot
+//! is reused and re-parked — and `Core::reset` invalidates every list
+//! head in O(1) by bumping an epoch.
+//!
+//! The legacy `BTreeSet`/`BTreeMap` scheduler ([`BTreeSched`]) is kept
+//! behind [`crate::CoreConfig::flat_sched`] / the `PROTEAN_SCHED=btree`
+//! environment override, as a differential-testing oracle (the
+//! `sched_flat_equiv` bench test drives both over random programs ×
+//! every defense and compares full-observable digests).
 //!
 //! The scheduler also powers **idle-cycle fast-forward**: when a tick
 //! makes no progress (see [`Scheduler::progress`]), the pipeline asks
@@ -51,36 +97,45 @@ use crate::defense::Seq;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
-/// Event-driven scheduling state owned by the core (see module docs).
-///
-/// All sets are keyed by [`Seq`] — unique, monotonically increasing,
-/// never reused — so age-order iteration of any set reproduces the ROB
-/// scan order of the original per-cycle loops.
-#[derive(Debug, Default)]
-pub(crate) struct Scheduler {
-    /// Completion event wheel: done-cycle → µops finishing that cycle.
-    wheel: BTreeMap<u64, Vec<Seq>>,
+/// Identifies one of the eight status sets (see module docs). The
+/// numeric value indexes the per-implementation set arrays.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum SetId {
     /// Every µop currently in `UopStatus::Waiting`, in age order.
-    pub waiting: BTreeSet<Seq>,
+    Waiting = 0,
     /// Waiting µops whose operand-readiness predicate holds.
-    pub issue_ready: BTreeSet<Seq>,
+    IssueReady = 1,
     /// Completed µops with results whose wakeup the defense has not yet
     /// granted.
-    pub wakeup_pending: BTreeSet<Seq>,
+    WakeupPending = 2,
     /// Stores/calls with a computed address still awaiting data capture.
-    pub store_waiters: BTreeSet<Seq>,
+    StoreWaiters = 3,
     /// Executed, unresolved, mispredicted branches (resolve candidates).
-    pub resolve_pending: BTreeSet<Seq>,
+    ResolvePending = 4,
     /// Every in-flight branch that has not resolved (frontier input).
-    pub unresolved_branches: BTreeSet<Seq>,
+    UnresolvedBranches = 5,
     /// Every in-flight load (including `ret`), in age order: the memory
     /// disambiguation scans walk these instead of the whole ROB.
-    pub inflight_loads: BTreeSet<Seq>,
+    InflightLoads = 6,
     /// Every in-flight store (including `call`), in age order.
-    pub inflight_stores: BTreeSet<Seq>,
-    /// Per-physical-register dependent lists: µops parked on one unready
-    /// source register each.
-    dep_lists: Vec<Vec<Seq>>,
+    InflightStores = 7,
+}
+
+const N_SETS: usize = 8;
+
+/// Event-driven scheduling state owned by the core (see module docs):
+/// the flat ROB-slot scheduler by default, or the legacy ordered-set
+/// scheduler for differential testing. All cross-implementation
+/// bookkeeping (progress flag, scratch buffer, occupancy high-water
+/// marks) lives here so both backends report identical statistics.
+#[derive(Debug)]
+pub(crate) struct Scheduler {
+    imp: SchedImpl,
+    /// High-water mark of the waiting set (issue-queue occupancy).
+    iq_hwm: u64,
+    /// Outstanding completion events (live + stale), and their maximum.
+    wheel_live: u64,
+    wheel_hwm: u64,
     /// Whether the current tick changed any simulator state (beyond
     /// blocked-cycle accounting). Cleared at tick start; an un-set flag
     /// at tick end certifies the cycle is repeatable and fast-forward is
@@ -91,112 +146,993 @@ pub(crate) struct Scheduler {
     pub scratch: Vec<Seq>,
 }
 
+#[derive(Debug)]
+enum SchedImpl {
+    Flat(FlatSched),
+    BTree(BTreeSched),
+}
+
 impl Scheduler {
-    /// Creates a scheduler for a core with `n_phys` physical registers.
-    pub fn new(n_phys: usize) -> Scheduler {
+    /// Creates a scheduler for a core with `n_phys` physical registers
+    /// and a `rob_size`-entry ROB. `max_latency` bounds the completion
+    /// latency any µop can schedule (sizes the calendar ring); `flat`
+    /// selects the flat ROB-slot backend over the legacy ordered sets.
+    pub fn new(n_phys: usize, rob_size: usize, max_latency: u32, flat: bool) -> Scheduler {
+        let imp = if flat {
+            SchedImpl::Flat(FlatSched::new(n_phys, rob_size, max_latency))
+        } else {
+            SchedImpl::BTree(BTreeSched::new(n_phys))
+        };
         Scheduler {
-            dep_lists: vec![Vec::new(); n_phys],
-            ..Scheduler::default()
+            imp,
+            iq_hwm: 0,
+            wheel_live: 0,
+            wheel_hwm: 0,
+            progress: false,
+            scratch: Vec::new(),
         }
     }
 
-    /// Empties every event structure in place, keeping the dependent-
-    /// list and scratch allocations (the `Core::reset` arena path).
+    /// Empties every event structure in place, keeping all backing
+    /// allocations (the `Core::reset` arena path).
     pub fn reset(&mut self) {
-        self.wheel.clear();
-        self.waiting.clear();
-        self.issue_ready.clear();
-        self.wakeup_pending.clear();
-        self.store_waiters.clear();
-        self.resolve_pending.clear();
-        self.unresolved_branches.clear();
-        self.inflight_loads.clear();
-        self.inflight_stores.clear();
-        for list in &mut self.dep_lists {
-            list.clear();
+        match &mut self.imp {
+            SchedImpl::Flat(s) => s.reset(),
+            SchedImpl::BTree(s) => s.reset(),
         }
+        self.iq_hwm = 0;
+        self.wheel_live = 0;
+        self.wheel_hwm = 0;
         self.progress = false;
         self.scratch.clear();
     }
 
+    // ---- ROB lifecycle ----------------------------------------------
+
+    /// Registers a freshly renamed µop (about to be pushed at the ROB
+    /// tail) with the scheduler. Must be called before any set insert
+    /// for that µop.
+    #[inline]
+    pub fn on_dispatch(&mut self, seq: Seq) {
+        if let SchedImpl::Flat(s) = &mut self.imp {
+            s.on_dispatch(seq);
+        }
+    }
+
+    /// The ROB head was just committed (popped). All set entries for the
+    /// head must have been removed beforehand.
+    #[inline]
+    pub fn on_commit_head(&mut self) {
+        if let SchedImpl::Flat(s) = &mut self.imp {
+            s.on_commit_head();
+        }
+    }
+
+    /// One µop (`seq`, the current ROB tail) was just squashed (popped
+    /// from the back). Clears its membership in every status set and
+    /// unlinks it from any dependent list; its completion events (if
+    /// any) stay in the wheel as stale entries (see module docs).
+    #[inline]
+    pub fn on_squash_pop(&mut self, seq: Seq) {
+        if let SchedImpl::Flat(s) = &mut self.imp {
+            s.on_squash_pop(seq);
+        }
+    }
+
+    /// Legacy bulk cleanup after a squash: discards every entry younger
+    /// than `surviving` from the ordered sets (`split_off`). A no-op for
+    /// the flat backend, whose [`Scheduler::on_squash_pop`] already
+    /// cleared each popped µop.
+    pub fn squash_after(&mut self, surviving: Seq) {
+        if let SchedImpl::BTree(s) = &mut self.imp {
+            s.squash_after(surviving);
+        }
+    }
+
+    // ---- status sets ------------------------------------------------
+
+    /// Inserts `seq` (at ROB index `rob_i`) into `set`. Idempotent.
+    #[inline]
+    pub fn insert(&mut self, set: SetId, seq: Seq, rob_i: usize) {
+        let n = match &mut self.imp {
+            SchedImpl::Flat(s) => {
+                s.insert(set, seq, rob_i);
+                s.sets[set as usize].len
+            }
+            SchedImpl::BTree(s) => {
+                s.sets[set as usize].insert(seq);
+                s.sets[set as usize].len()
+            }
+        };
+        if set == SetId::Waiting && n as u64 > self.iq_hwm {
+            self.iq_hwm = n as u64;
+        }
+    }
+
+    /// Removes `seq` (at ROB index `rob_i`) from `set`. Idempotent.
+    #[inline]
+    pub fn remove(&mut self, set: SetId, seq: Seq, rob_i: usize) {
+        match &mut self.imp {
+            SchedImpl::Flat(s) => s.remove(set, seq, rob_i),
+            SchedImpl::BTree(s) => {
+                s.sets[set as usize].remove(&seq);
+            }
+        }
+    }
+
+    /// Number of entries in `set`.
+    #[inline]
+    pub fn len(&self, set: SetId) -> usize {
+        match &self.imp {
+            SchedImpl::Flat(s) => s.sets[set as usize].len,
+            SchedImpl::BTree(s) => s.sets[set as usize].len(),
+        }
+    }
+
+    /// Whether `set` is empty.
+    #[inline]
+    pub fn is_empty(&self, set: SetId) -> bool {
+        self.len(set) == 0
+    }
+
+    /// The oldest entry of `set`, if any.
+    #[inline]
+    pub fn first(&self, set: SetId) -> Option<Seq> {
+        match &self.imp {
+            SchedImpl::Flat(s) => s.first(set),
+            SchedImpl::BTree(s) => s.sets[set as usize].first().copied(),
+        }
+    }
+
+    /// The `n`-th oldest entry of `set` (0-based), if any.
+    pub fn nth(&self, set: SetId, n: usize) -> Option<Seq> {
+        match &self.imp {
+            SchedImpl::Flat(s) => s.nth(set, n),
+            SchedImpl::BTree(s) => s.sets[set as usize].iter().nth(n).copied(),
+        }
+    }
+
+    /// Appends every entry of `set` to `out`, oldest first.
+    #[inline]
+    pub fn collect(&self, set: SetId, out: &mut Vec<Seq>) {
+        match &self.imp {
+            SchedImpl::Flat(s) => s.collect(set, out),
+            SchedImpl::BTree(s) => out.extend(s.sets[set as usize].iter().copied()),
+        }
+    }
+
+    /// Appends every entry of `set` older than `bound` (exclusive) to
+    /// `out`, oldest first.
+    #[inline]
+    pub fn collect_below(&self, set: SetId, bound: Seq, out: &mut Vec<Seq>) {
+        match &self.imp {
+            SchedImpl::Flat(s) => s.collect_below(set, bound, out),
+            SchedImpl::BTree(s) => out.extend(s.sets[set as usize].range(..bound).copied()),
+        }
+    }
+
+    /// Visits every in-flight store older than the load `(seq, rob_i)`,
+    /// **youngest first** (the store-queue search order of
+    /// `execute_load`). `f` returns `false` to stop the walk.
+    #[inline]
+    pub fn for_each_store_older(&self, seq: Seq, rob_i: usize, mut f: impl FnMut(Seq) -> bool) {
+        match &self.imp {
+            SchedImpl::Flat(s) => s.walk_desc_before(SetId::InflightStores, seq, rob_i, &mut f),
+            SchedImpl::BTree(s) => {
+                for &s_seq in s.sets[SetId::InflightStores as usize].range(..seq).rev() {
+                    if !f(s_seq) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visits every in-flight load younger than the store `(seq, rob_i)`,
+    /// **oldest first** (the violation-scan order of `execute_store`).
+    /// `f` returns `false` to stop the walk.
+    #[inline]
+    pub fn for_each_load_younger(&self, seq: Seq, rob_i: usize, mut f: impl FnMut(Seq) -> bool) {
+        match &self.imp {
+            SchedImpl::Flat(s) => s.walk_asc_after(SetId::InflightLoads, seq, rob_i, &mut f),
+            SchedImpl::BTree(s) => {
+                for &l_seq in s.sets[SetId::InflightLoads as usize].range(seq + 1..) {
+                    if !f(l_seq) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
     // ---- completion wheel -------------------------------------------
 
-    /// Schedules `seq` to complete at `done`.
-    pub fn schedule_completion(&mut self, done: u64, seq: Seq) {
-        self.wheel.entry(done).or_default().push(seq);
+    /// Schedules `seq` (at ROB index `rob_i`) to complete at `done`.
+    #[inline]
+    pub fn schedule_completion(&mut self, done: u64, seq: Seq, rob_i: usize) {
+        match &mut self.imp {
+            SchedImpl::Flat(s) => s.schedule_completion(done, seq, rob_i),
+            SchedImpl::BTree(s) => s.wheel.entry(done).or_default().push(seq),
+        }
+        self.wheel_live += 1;
+        if self.wheel_live > self.wheel_hwm {
+            self.wheel_hwm = self.wheel_live;
+        }
     }
 
-    /// Removes and returns every completion event due at or before
-    /// `cycle`, in age order. Stale events (squashed µops) survive here
-    /// and are filtered by the caller against the ROB.
+    /// Removes every completion event due at or before `cycle` and fills
+    /// `out` with the due µops in age order. The flat backend filters
+    /// stale (squashed) events here in O(1) via generation stamps; the
+    /// legacy backend leaves them for the caller's ROB check (which has
+    /// no observable side effects, so the two are interchangeable).
+    #[inline]
     pub fn pop_completions(&mut self, cycle: u64, out: &mut Vec<Seq>) {
         out.clear();
-        while let Some(entry) = self.wheel.first_entry() {
-            if *entry.key() > cycle {
-                break;
+        let drained = match &mut self.imp {
+            SchedImpl::Flat(s) => s.pop_completions(cycle, out),
+            SchedImpl::BTree(s) => {
+                while let Some(entry) = s.wheel.first_entry() {
+                    if *entry.key() > cycle {
+                        break;
+                    }
+                    out.extend(entry.remove());
+                }
+                out.len() as u64
             }
-            out.extend(entry.remove());
+        };
+        // Multiple deadlines can drain at once only after a squash or a
+        // fast-forward jump; keep age order so processing matches the
+        // old ROB scan.
+        if out.len() > 1 {
+            out.sort_unstable();
         }
-        // Multiple slots can drain at once only after a squash re-issues
-        // work; keep age order so processing matches the old ROB scan.
-        out.sort_unstable();
+        debug_assert!(drained <= self.wheel_live);
+        self.wheel_live -= drained;
     }
 
-    /// The cycle of the earliest outstanding completion event, if any.
+    /// The cycle of the earliest outstanding completion event (live or
+    /// stale), if any. O(1): a cached field in the flat backend
+    /// (maintained on push, recomputed on drain; squash leaves it
+    /// untouched because stale events stay in the wheel).
+    #[inline]
     pub fn next_completion_cycle(&self) -> Option<u64> {
-        self.wheel.keys().next().copied()
+        match &self.imp {
+            SchedImpl::Flat(s) => s.next_completion_cycle(),
+            SchedImpl::BTree(s) => s.wheel.keys().next().copied(),
+        }
     }
 
     // ---- dependent lists --------------------------------------------
 
-    /// Parks `seq` until physical register `phys` is written back.
-    pub fn register_dep(&mut self, phys: usize, seq: Seq) {
-        self.dep_lists[phys].push(seq);
-    }
-
-    /// Takes the dependent list of `phys` for draining (the caller
-    /// re-registers entries that are still not ready).
-    pub fn take_deps(&mut self, phys: usize) -> Vec<Seq> {
-        std::mem::take(&mut self.dep_lists[phys])
-    }
-
-    // ---- squash -----------------------------------------------------
-
-    /// Discards every entry younger than `surviving` from the ordered
-    /// sets. Wheel slots and dependent lists are left to lazy filtering:
-    /// squashed sequence numbers never reappear in the ROB, so a stale
-    /// entry can never be mistaken for live work.
-    pub fn squash_after(&mut self, surviving: Seq) {
-        let bound = surviving + 1;
-        for set in [
-            &mut self.waiting,
-            &mut self.issue_ready,
-            &mut self.wakeup_pending,
-            &mut self.store_waiters,
-            &mut self.resolve_pending,
-            &mut self.unresolved_branches,
-            &mut self.inflight_loads,
-            &mut self.inflight_stores,
-        ] {
-            set.split_off(&bound);
+    /// Parks `seq` (at ROB index `rob_i`) until physical register `phys`
+    /// is written back. A µop is parked on at most one register at a
+    /// time.
+    #[inline]
+    pub fn register_dep(&mut self, phys: usize, seq: Seq, rob_i: usize) {
+        match &mut self.imp {
+            SchedImpl::Flat(s) => s.register_dep(phys, seq, rob_i),
+            SchedImpl::BTree(s) => s.dep_lists[phys].push(seq),
         }
+    }
+
+    /// Drains the dependent list of `phys` into `out` in registration
+    /// order (the caller re-registers entries that are still not ready).
+    /// The flat backend yields only live µops; the legacy backend may
+    /// yield stale (squashed) entries for the caller to filter.
+    #[inline]
+    pub fn drain_deps(&mut self, phys: usize, out: &mut Vec<Seq>) {
+        match &mut self.imp {
+            SchedImpl::Flat(s) => s.drain_deps(phys, out),
+            SchedImpl::BTree(s) => out.append(&mut s.dep_lists[phys]),
+        }
+    }
+
+    // ---- occupancy statistics ---------------------------------------
+
+    /// High-water mark of the waiting set (issue-queue occupancy).
+    pub fn iq_hwm(&self) -> u64 {
+        self.iq_hwm
+    }
+
+    /// High-water mark of outstanding completion-wheel events (live and
+    /// stale alike — both occupy wheel storage).
+    pub fn wheel_hwm(&self) -> u64 {
+        self.wheel_hwm
     }
 
     // ---- progress flag ----------------------------------------------
 
     /// Clears the progress flag at tick start.
+    #[inline]
     pub fn clear_progress(&mut self) {
         self.progress = false;
     }
 
     /// Marks that this tick changed simulator state.
+    #[inline]
     pub fn mark_progress(&mut self) {
         self.progress = true;
     }
 
     /// Whether this tick changed simulator state.
+    #[inline]
     pub fn progress(&self) -> bool {
         self.progress
+    }
+}
+
+// ---------------------------------------------------------------------
+// Legacy ordered-set backend
+// ---------------------------------------------------------------------
+
+/// The PR 4 scheduler: one `BTreeSet` per status set, a `BTreeMap`
+/// completion wheel, per-register `Vec` dependent lists. Kept as the
+/// differential-testing oracle for [`FlatSched`]; stale entries from
+/// squashed µops are filtered lazily by the pipeline (sequence numbers
+/// are never reused, so a stale entry can never be mistaken for live
+/// work).
+#[derive(Debug, Default)]
+struct BTreeSched {
+    wheel: BTreeMap<u64, Vec<Seq>>,
+    sets: [BTreeSet<Seq>; N_SETS],
+    dep_lists: Vec<Vec<Seq>>,
+}
+
+impl BTreeSched {
+    fn new(n_phys: usize) -> BTreeSched {
+        BTreeSched {
+            dep_lists: vec![Vec::new(); n_phys],
+            ..BTreeSched::default()
+        }
+    }
+
+    fn reset(&mut self) {
+        self.wheel.clear();
+        for set in &mut self.sets {
+            set.clear();
+        }
+        for list in &mut self.dep_lists {
+            list.clear();
+        }
+    }
+
+    fn squash_after(&mut self, surviving: Seq) {
+        let bound = surviving + 1;
+        for set in &mut self.sets {
+            set.split_off(&bound);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flat ROB-slot backend
+// ---------------------------------------------------------------------
+
+const NO_NODE: u32 = u32::MAX;
+
+/// One fixed-capacity bitset over ROB ring slots.
+#[derive(Debug)]
+struct FlatSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl FlatSet {
+    fn with_capacity(cap: usize) -> FlatSet {
+        FlatSet {
+            words: vec![0; cap.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, slot: usize) {
+        let (w, b) = (slot >> 6, 1u64 << (slot & 63));
+        if self.words[w] & b == 0 {
+            self.words[w] |= b;
+            self.len += 1;
+        }
+    }
+
+    #[inline]
+    fn remove(&mut self, slot: usize) {
+        let (w, b) = (slot >> 6, 1u64 << (slot & 63));
+        if self.words[w] & b != 0 {
+            self.words[w] &= !b;
+            self.len -= 1;
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    fn contains(&self, slot: usize) -> bool {
+        self.words[slot >> 6] & (1u64 << (slot & 63)) != 0
+    }
+
+    fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// The word range `[lo, hi)` of `self.words` masked to the slot
+    /// range `[lo_slot, hi_slot)`; yields set slots ascending. `f`
+    /// returns `false` to stop; the return value reports whether the
+    /// walk ran to completion.
+    #[inline]
+    fn walk_asc(&self, lo: usize, hi: usize, f: &mut impl FnMut(usize) -> bool) -> bool {
+        if lo >= hi {
+            return true;
+        }
+        let (first_w, last_w) = (lo >> 6, (hi - 1) >> 6);
+        for w in first_w..=last_w {
+            let mut bits = self.words[w];
+            if w == first_w {
+                bits &= u64::MAX << (lo & 63);
+            }
+            if w == last_w && hi & 63 != 0 {
+                bits &= (1u64 << (hi & 63)) - 1;
+            }
+            while bits != 0 {
+                if !f((w << 6) | bits.trailing_zeros() as usize) {
+                    return false;
+                }
+                bits &= bits - 1;
+            }
+        }
+        true
+    }
+
+    /// As [`FlatSet::walk_asc`], descending.
+    #[inline]
+    fn walk_desc(&self, lo: usize, hi: usize, f: &mut impl FnMut(usize) -> bool) -> bool {
+        if lo >= hi {
+            return true;
+        }
+        let (first_w, last_w) = (lo >> 6, (hi - 1) >> 6);
+        for w in (first_w..=last_w).rev() {
+            let mut bits = self.words[w];
+            if w == first_w {
+                bits &= u64::MAX << (lo & 63);
+            }
+            if w == last_w && hi & 63 != 0 {
+                bits &= (1u64 << (hi & 63)) - 1;
+            }
+            while bits != 0 {
+                let b = 63 - bits.leading_zeros() as usize;
+                if !f((w << 6) | b) {
+                    return false;
+                }
+                bits &= !(1u64 << b);
+            }
+        }
+        true
+    }
+
+    /// The `k`-th (0-based) set slot in `[lo, hi)`, or the residual
+    /// count if fewer: word-popcount skipping, so a deep cutoff query
+    /// touches O(words), not O(entries).
+    fn select(&self, lo: usize, hi: usize, mut k: usize) -> Result<usize, usize> {
+        if lo >= hi {
+            return Err(k);
+        }
+        let (first_w, last_w) = (lo >> 6, (hi - 1) >> 6);
+        for w in first_w..=last_w {
+            let mut bits = self.words[w];
+            if w == first_w {
+                bits &= u64::MAX << (lo & 63);
+            }
+            if w == last_w && hi & 63 != 0 {
+                bits &= (1u64 << (hi & 63)) - 1;
+            }
+            let c = bits.count_ones() as usize;
+            if k < c {
+                for _ in 0..k {
+                    bits &= bits - 1;
+                }
+                return Ok((w << 6) | bits.trailing_zeros() as usize);
+            }
+            k -= c;
+        }
+        Err(k)
+    }
+}
+
+/// One completion event: the slot and dispatch generation it was
+/// scheduled for (the O(1) staleness check) plus the sequence number
+/// it yields when live.
+#[derive(Clone, Copy, Debug)]
+struct WheelEvent {
+    slot: u32,
+    gen: u32,
+    seq: Seq,
+}
+
+/// The flat ROB-slot scheduler (see module docs).
+#[derive(Debug)]
+struct FlatSched {
+    /// Ring capacity: `rob_size.next_power_of_two()`.
+    cap: usize,
+    /// Monotonic position counters mirroring the ROB ring; the window
+    /// `[head_pos, tail_pos)` maps to slots via `pos & (cap - 1)`.
+    head_pos: u64,
+    tail_pos: u64,
+    /// Sequence number occupying each slot (valid within the window).
+    slot_seq: Vec<Seq>,
+    /// Per-slot dispatch generation, bumped when a slot is (re)claimed:
+    /// distinguishes a squashed µop's leftovers from the slot's current
+    /// occupant.
+    slot_gen: Vec<u32>,
+    /// The eight status sets as slot bitsets.
+    sets: [FlatSet; N_SETS],
+
+    // ---- dependent-list arena ---------------------------------------
+    /// Intrusive doubly-linked node per slot (`NO_NODE` = nil). A µop is
+    /// parked on at most one physical register at a time (`dep_phys`).
+    dep_next: Vec<u32>,
+    dep_prev: Vec<u32>,
+    dep_phys: Vec<u32>,
+    /// Per-physical-register list head/tail, valid only when the
+    /// register's epoch matches `dep_epoch_cur` (the O(1) reset).
+    dep_head: Vec<u32>,
+    dep_tail: Vec<u32>,
+    dep_epoch: Vec<u64>,
+    dep_epoch_cur: u64,
+
+    // ---- calendar queue ---------------------------------------------
+    /// Power-of-two bucket ring over completion cycles; `stamp[b]` is
+    /// the deadline of bucket `b`'s current contents (meaningful only
+    /// while non-empty). Bucket storage is pooled: drained buckets are
+    /// cleared in place, never deallocated.
+    wmask: u64,
+    buckets: Vec<Vec<WheelEvent>>,
+    stamp: Vec<u64>,
+    /// Events beyond the ring horizon (or colliding with an occupied
+    /// bucket of a different deadline): kept sorted by deadline,
+    /// descending, so the nearest pops from the back. A safety net —
+    /// empty whenever every scheduled latency fits the ring, which the
+    /// ring sizing guarantees for all in-tree latencies.
+    overflow: Vec<(u64, WheelEvent)>,
+    /// Cached minimum deadline across the buckets (`u64::MAX` when none)
+    /// and the bucketed-event count. The overall wheel minimum is
+    /// `min(bucket_min, overflow.last())` — O(1) for the idle-cycle
+    /// fast-forward query that used to be a fresh `BTreeMap` first-key
+    /// lookup per no-progress tick.
+    bucket_min: u64,
+    bucket_events: u64,
+}
+
+impl FlatSched {
+    fn new(n_phys: usize, rob_size: usize, max_latency: u32) -> FlatSched {
+        let cap = rob_size.next_power_of_two();
+        // Every in-tree completion schedules at most `max_latency + 1`
+        // cycles ahead; the ring must strictly exceed that so two
+        // outstanding deadlines never alias a bucket.
+        let wsize = (max_latency as u64 + 2).next_power_of_two().max(16) as usize;
+        FlatSched {
+            cap,
+            head_pos: 0,
+            tail_pos: 0,
+            slot_seq: vec![0; cap],
+            slot_gen: vec![0; cap],
+            sets: std::array::from_fn(|_| FlatSet::with_capacity(cap)),
+            dep_next: vec![NO_NODE; cap],
+            dep_prev: vec![NO_NODE; cap],
+            dep_phys: vec![NO_NODE; cap],
+            dep_head: vec![NO_NODE; n_phys],
+            dep_tail: vec![NO_NODE; n_phys],
+            dep_epoch: vec![0; n_phys],
+            dep_epoch_cur: 1,
+            wmask: wsize as u64 - 1,
+            buckets: (0..wsize).map(|_| Vec::new()).collect(),
+            stamp: vec![0; wsize],
+            overflow: Vec::new(),
+            bucket_min: u64::MAX,
+            bucket_events: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.head_pos = 0;
+        self.tail_pos = 0;
+        // Slot generations are deliberately *not* reset: monotonic per
+        // slot across runs, so nothing ever aliases a previous run.
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.dep_epoch_cur += 1; // O(1) dependent-list invalidation
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.bucket_min = u64::MAX;
+        self.bucket_events = 0;
+    }
+
+    // ---- ring geometry ----------------------------------------------
+
+    #[inline]
+    fn mask(&self) -> u64 {
+        self.cap as u64 - 1
+    }
+
+    #[inline]
+    fn window_len(&self) -> usize {
+        (self.tail_pos - self.head_pos) as usize
+    }
+
+    #[inline]
+    fn head_slot(&self) -> usize {
+        (self.head_pos & self.mask()) as usize
+    }
+
+    #[inline]
+    fn slot_of(&self, rob_i: usize) -> usize {
+        debug_assert!(rob_i < self.window_len(), "ROB index outside the window");
+        ((self.head_pos + rob_i as u64) & self.mask()) as usize
+    }
+
+    /// The cyclic offset range `[start_off, end_off)` from the head as
+    /// up to two linear slot ranges, in age order.
+    #[inline]
+    fn pieces(&self, start_off: usize, end_off: usize) -> ((usize, usize), (usize, usize)) {
+        debug_assert!(start_off <= end_off && end_off <= self.window_len());
+        let n = end_off - start_off;
+        let s = (self.head_slot() + start_off) & (self.cap - 1);
+        if s + n <= self.cap {
+            ((s, s + n), (0, 0))
+        } else {
+            ((s, self.cap), (0, s + n - self.cap))
+        }
+    }
+
+    // ---- lifecycle --------------------------------------------------
+
+    #[inline]
+    fn on_dispatch(&mut self, seq: Seq) {
+        debug_assert!(
+            self.window_len() < self.cap,
+            "ROB window exceeds scheduler ring capacity"
+        );
+        let slot = (self.tail_pos & self.mask()) as usize;
+        self.tail_pos += 1;
+        self.slot_seq[slot] = seq;
+        self.slot_gen[slot] = self.slot_gen[slot].wrapping_add(1);
+        self.dep_phys[slot] = NO_NODE;
+        #[cfg(debug_assertions)]
+        for set in &self.sets {
+            debug_assert!(!set.contains(slot), "fresh slot still in a status set");
+        }
+    }
+
+    #[inline]
+    fn on_commit_head(&mut self) {
+        debug_assert!(self.window_len() > 0, "commit from an empty window");
+        #[cfg(debug_assertions)]
+        {
+            let slot = self.head_slot();
+            for set in &self.sets {
+                debug_assert!(!set.contains(slot), "committed head still in a status set");
+            }
+            debug_assert_eq!(self.dep_phys[slot], NO_NODE, "committed head still parked");
+        }
+        self.head_pos += 1;
+    }
+
+    fn on_squash_pop(&mut self, seq: Seq) {
+        debug_assert!(self.window_len() > 0, "squash from an empty window");
+        self.tail_pos -= 1;
+        let slot = (self.tail_pos & self.mask()) as usize;
+        debug_assert_eq!(self.slot_seq[slot], seq, "squash pops the ROB tail");
+        let _ = seq;
+        for set in &mut self.sets {
+            set.remove(slot);
+        }
+        self.unlink_dep(slot);
+        // Completion events stay in the wheel as stale entries (module
+        // docs): the cached minimum must keep counting them so the
+        // fast-forward jump targets match the legacy scheduler exactly.
+    }
+
+    // ---- status sets ------------------------------------------------
+
+    #[inline]
+    fn insert(&mut self, set: SetId, seq: Seq, rob_i: usize) {
+        let slot = self.slot_of(rob_i);
+        debug_assert_eq!(self.slot_seq[slot], seq, "seq/index mismatch");
+        let _ = seq;
+        self.sets[set as usize].insert(slot);
+    }
+
+    #[inline]
+    fn remove(&mut self, set: SetId, seq: Seq, rob_i: usize) {
+        let slot = self.slot_of(rob_i);
+        debug_assert_eq!(self.slot_seq[slot], seq, "seq/index mismatch");
+        let _ = seq;
+        self.sets[set as usize].remove(slot);
+    }
+
+    fn first(&self, set: SetId) -> Option<Seq> {
+        let ((a0, a1), (b0, b1)) = self.pieces(0, self.window_len());
+        let s = &self.sets[set as usize];
+        let mut found = None;
+        let mut f = |slot: usize| {
+            found = Some(self.slot_seq[slot]);
+            false
+        };
+        if s.walk_asc(a0, a1, &mut f) {
+            s.walk_asc(b0, b1, &mut f);
+        }
+        found
+    }
+
+    fn nth(&self, set: SetId, n: usize) -> Option<Seq> {
+        let ((a0, a1), (b0, b1)) = self.pieces(0, self.window_len());
+        let s = &self.sets[set as usize];
+        match s.select(a0, a1, n) {
+            Ok(slot) => Some(self.slot_seq[slot]),
+            Err(rest) => s.select(b0, b1, rest).ok().map(|slot| self.slot_seq[slot]),
+        }
+    }
+
+    fn collect(&self, set: SetId, out: &mut Vec<Seq>) {
+        let ((a0, a1), (b0, b1)) = self.pieces(0, self.window_len());
+        let s = &self.sets[set as usize];
+        let mut f = |slot: usize| {
+            out.push(self.slot_seq[slot]);
+            true
+        };
+        s.walk_asc(a0, a1, &mut f);
+        s.walk_asc(b0, b1, &mut f);
+    }
+
+    fn collect_below(&self, set: SetId, bound: Seq, out: &mut Vec<Seq>) {
+        let ((a0, a1), (b0, b1)) = self.pieces(0, self.window_len());
+        let s = &self.sets[set as usize];
+        // Age order ≡ seq order: stop at the first entry ≥ bound.
+        let mut f = |slot: usize| {
+            let seq = self.slot_seq[slot];
+            if seq >= bound {
+                return false;
+            }
+            out.push(seq);
+            true
+        };
+        if s.walk_asc(a0, a1, &mut f) {
+            s.walk_asc(b0, b1, &mut f);
+        }
+    }
+
+    /// Walks `set` over ROB indices `[0, rob_i)`, youngest first.
+    fn walk_desc_before(
+        &self,
+        set: SetId,
+        seq: Seq,
+        rob_i: usize,
+        f: &mut impl FnMut(Seq) -> bool,
+    ) {
+        let ((a0, a1), (b0, b1)) = self.pieces(0, rob_i);
+        let s = &self.sets[set as usize];
+        let mut g = |slot: usize| {
+            debug_assert!(self.slot_seq[slot] < seq, "older walk crossed the bound");
+            f(self.slot_seq[slot])
+        };
+        let _ = seq;
+        if s.walk_desc(b0, b1, &mut g) {
+            s.walk_desc(a0, a1, &mut g);
+        }
+    }
+
+    /// Walks `set` over ROB indices `(rob_i, window)`, oldest first.
+    fn walk_asc_after(&self, set: SetId, seq: Seq, rob_i: usize, f: &mut impl FnMut(Seq) -> bool) {
+        let ((a0, a1), (b0, b1)) = self.pieces(rob_i + 1, self.window_len());
+        let s = &self.sets[set as usize];
+        let mut g = |slot: usize| {
+            debug_assert!(self.slot_seq[slot] > seq, "younger walk crossed the bound");
+            f(self.slot_seq[slot])
+        };
+        let _ = seq;
+        if s.walk_asc(a0, a1, &mut g) {
+            s.walk_asc(b0, b1, &mut g);
+        }
+    }
+
+    // ---- calendar queue ---------------------------------------------
+
+    #[inline]
+    fn schedule_completion(&mut self, done: u64, seq: Seq, rob_i: usize) {
+        let slot = self.slot_of(rob_i);
+        debug_assert_eq!(self.slot_seq[slot], seq, "seq/index mismatch");
+        let ev = WheelEvent {
+            slot: slot as u32,
+            gen: self.slot_gen[slot],
+            seq,
+        };
+        let b = (done & self.wmask) as usize;
+        if self.buckets[b].is_empty() {
+            self.stamp[b] = done;
+            self.buckets[b].push(ev);
+        } else if self.stamp[b] == done {
+            self.buckets[b].push(ev);
+        } else {
+            // Beyond the ring horizon: sorted overflow (descending, so
+            // the nearest deadline pops from the back).
+            let pos = self.overflow.partition_point(|(d, _)| *d > done);
+            self.overflow.insert(pos, (done, ev));
+            return;
+        }
+        self.bucket_events += 1;
+        if done < self.bucket_min {
+            self.bucket_min = done;
+        }
+    }
+
+    /// Whether a drained event still denotes a live µop: its slot must
+    /// hold the same dispatch generation and lie inside the window.
+    /// (Generation alone misses squashed-not-reused slots; the window
+    /// test alone misses reused slots — together they are exact.)
+    #[inline]
+    fn event_live(&self, ev: WheelEvent) -> bool {
+        let slot = ev.slot as usize;
+        if self.slot_gen[slot] != ev.gen {
+            return false;
+        }
+        let off = (slot + self.cap - self.head_slot()) & (self.cap - 1);
+        let live = off < self.window_len();
+        debug_assert!(!live || self.slot_seq[slot] == ev.seq);
+        live
+    }
+
+    fn pop_completions(&mut self, cycle: u64, out: &mut Vec<Seq>) -> u64 {
+        debug_assert_eq!(self.bucket_min, self.recomputed_bucket_min(), "stale cache");
+        let mut drained = 0u64;
+        if self.bucket_min <= cycle {
+            // Deadlines at or before `cycle`: every such bucket has its
+            // stamp in `[bucket_min, cycle]` (the pipeline drains every
+            // tick and on every fast-forward landing, so this range is
+            // at most one jump long).
+            for c in self.bucket_min..=cycle {
+                let b = (c & self.wmask) as usize;
+                if self.buckets[b].is_empty() || self.stamp[b] != c {
+                    continue;
+                }
+                let mut bucket = std::mem::take(&mut self.buckets[b]);
+                drained += bucket.len() as u64;
+                self.bucket_events -= bucket.len() as u64;
+                for &ev in &bucket {
+                    if self.event_live(ev) {
+                        out.push(ev.seq);
+                    }
+                }
+                bucket.clear();
+                self.buckets[b] = bucket; // pooled
+                if self.bucket_events == 0 {
+                    break;
+                }
+            }
+            self.bucket_min = if self.bucket_events == 0 {
+                u64::MAX
+            } else {
+                // All remaining bucketed deadlines lie in
+                // (cycle, cycle + ring), because every push happened at
+                // a cycle ≤ `cycle` with latency < ring size.
+                let mut min = u64::MAX;
+                for c in cycle + 1..=cycle + self.wmask + 1 {
+                    let b = (c & self.wmask) as usize;
+                    if !self.buckets[b].is_empty() && self.stamp[b] == c {
+                        min = c;
+                        break;
+                    }
+                }
+                debug_assert_ne!(min, u64::MAX, "bucketed event outside the ring horizon");
+                min
+            };
+        }
+        while let Some(&(done, ev)) = self.overflow.last() {
+            if done > cycle {
+                break;
+            }
+            self.overflow.pop();
+            drained += 1;
+            if self.event_live(ev) {
+                out.push(ev.seq);
+            }
+        }
+        drained
+    }
+
+    fn next_completion_cycle(&self) -> Option<u64> {
+        debug_assert_eq!(self.bucket_min, self.recomputed_bucket_min(), "stale cache");
+        let min = match self.overflow.last() {
+            Some(&(done, _)) => self.bucket_min.min(done),
+            None => self.bucket_min,
+        };
+        (min != u64::MAX).then_some(min)
+    }
+
+    /// Debug-only ground truth for the cached bucket minimum.
+    fn recomputed_bucket_min(&self) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(i, _)| self.stamp[i])
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    // ---- dependent-list arena ---------------------------------------
+
+    /// The list head for `phys`, honouring the epoch (a stale head from
+    /// before the last reset reads as empty).
+    #[inline]
+    fn dep_head_of(&self, phys: usize) -> u32 {
+        if self.dep_epoch[phys] == self.dep_epoch_cur {
+            self.dep_head[phys]
+        } else {
+            NO_NODE
+        }
+    }
+
+    #[inline]
+    fn register_dep(&mut self, phys: usize, seq: Seq, rob_i: usize) {
+        let slot = self.slot_of(rob_i);
+        debug_assert_eq!(self.slot_seq[slot], seq, "seq/index mismatch");
+        let _ = seq;
+        debug_assert_eq!(self.dep_phys[slot], NO_NODE, "µop parked twice");
+        self.dep_phys[slot] = phys as u32;
+        self.dep_next[slot] = NO_NODE;
+        let head = self.dep_head_of(phys);
+        if head == NO_NODE {
+            self.dep_epoch[phys] = self.dep_epoch_cur;
+            self.dep_head[phys] = slot as u32;
+            self.dep_tail[phys] = slot as u32;
+            self.dep_prev[slot] = NO_NODE;
+        } else {
+            let tail = self.dep_tail[phys] as usize;
+            self.dep_next[tail] = slot as u32;
+            self.dep_prev[slot] = tail as u32;
+            self.dep_tail[phys] = slot as u32;
+        }
+    }
+
+    #[inline]
+    fn drain_deps(&mut self, phys: usize, out: &mut Vec<Seq>) {
+        let mut node = self.dep_head_of(phys);
+        if node == NO_NODE {
+            return;
+        }
+        while node != NO_NODE {
+            let slot = node as usize;
+            debug_assert_eq!(self.dep_phys[slot], phys as u32);
+            out.push(self.slot_seq[slot]);
+            self.dep_phys[slot] = NO_NODE;
+            node = self.dep_next[slot];
+        }
+        self.dep_head[phys] = NO_NODE;
+        self.dep_tail[phys] = NO_NODE;
+    }
+
+    /// Unlinks `slot` from its dependent list, if parked. O(1); eager
+    /// unlinking is required (not an optimisation): the slot is about to
+    /// be reused, and a stale link from a lazily-filtered list would be
+    /// rewritten by the new occupant's park, truncating the old list.
+    fn unlink_dep(&mut self, slot: usize) {
+        let phys = self.dep_phys[slot];
+        if phys == NO_NODE {
+            return;
+        }
+        let phys = phys as usize;
+        let (prev, next) = (self.dep_prev[slot], self.dep_next[slot]);
+        if prev == NO_NODE {
+            self.dep_head[phys] = next;
+        } else {
+            self.dep_next[prev as usize] = next;
+        }
+        if next == NO_NODE {
+            self.dep_tail[phys] = prev;
+        } else {
+            self.dep_prev[next as usize] = prev;
+        }
+        self.dep_phys[slot] = NO_NODE;
     }
 }
 
@@ -336,65 +1272,291 @@ impl FetchQueue {
 mod tests {
     use super::*;
 
+    const ALL_SETS: [SetId; N_SETS] = [
+        SetId::Waiting,
+        SetId::IssueReady,
+        SetId::WakeupPending,
+        SetId::StoreWaiters,
+        SetId::ResolvePending,
+        SetId::UnresolvedBranches,
+        SetId::InflightLoads,
+        SetId::InflightStores,
+    ];
+
+    /// A small scheduler (8-slot ring, 32-bucket wheel) in either
+    /// backend — wrap-around is a handful of dispatches away.
+    fn sched(flat: bool) -> Scheduler {
+        Scheduler::new(8, 8, 30, flat)
+    }
+
+    fn contents(s: &Scheduler, set: SetId) -> Vec<Seq> {
+        let mut out = Vec::new();
+        s.collect(set, &mut out);
+        out
+    }
+
     #[test]
     fn wheel_pops_due_events_in_age_order() {
-        let mut s = Scheduler::new(4);
-        s.schedule_completion(10, 3);
-        s.schedule_completion(5, 7);
-        s.schedule_completion(5, 2);
-        s.schedule_completion(12, 1);
-        let mut out = Vec::new();
-        s.pop_completions(4, &mut out);
-        assert!(out.is_empty());
-        s.pop_completions(10, &mut out);
-        assert_eq!(out, vec![2, 3, 7]);
-        assert_eq!(s.next_completion_cycle(), Some(12));
-        s.pop_completions(100, &mut out);
-        assert_eq!(out, vec![1]);
-        assert_eq!(s.next_completion_cycle(), None);
+        for flat in [true, false] {
+            let mut s = sched(flat);
+            for (i, seq) in [1u64, 2, 3, 7].into_iter().enumerate() {
+                s.on_dispatch(seq);
+                let _ = i;
+            }
+            s.schedule_completion(10, 3, 2);
+            s.schedule_completion(5, 7, 3);
+            s.schedule_completion(5, 2, 1);
+            s.schedule_completion(12, 1, 0);
+            let mut out = Vec::new();
+            s.pop_completions(4, &mut out);
+            assert!(out.is_empty(), "flat={flat}");
+            assert_eq!(s.next_completion_cycle(), Some(5), "flat={flat}");
+            s.pop_completions(10, &mut out);
+            assert_eq!(out, vec![2, 3, 7], "flat={flat}");
+            assert_eq!(s.next_completion_cycle(), Some(12), "flat={flat}");
+            s.pop_completions(100, &mut out);
+            assert_eq!(out, vec![1], "flat={flat}");
+            assert_eq!(s.next_completion_cycle(), None, "flat={flat}");
+        }
     }
 
     #[test]
     fn squash_discards_only_younger_entries() {
-        let mut s = Scheduler::new(4);
-        for seq in [1u64, 5, 9] {
-            s.waiting.insert(seq);
-            s.issue_ready.insert(seq);
-            s.wakeup_pending.insert(seq);
-            s.store_waiters.insert(seq);
-            s.resolve_pending.insert(seq);
-            s.unresolved_branches.insert(seq);
-            s.inflight_loads.insert(seq);
-            s.inflight_stores.insert(seq);
-        }
-        s.squash_after(5);
-        for set in [
-            &s.waiting,
-            &s.issue_ready,
-            &s.wakeup_pending,
-            &s.store_waiters,
-            &s.resolve_pending,
-            &s.unresolved_branches,
-            &s.inflight_loads,
-            &s.inflight_stores,
-        ] {
-            assert_eq!(set.iter().copied().collect::<Vec<_>>(), vec![1, 5]);
+        for flat in [true, false] {
+            let mut s = sched(flat);
+            for (i, seq) in [1u64, 5, 9].into_iter().enumerate() {
+                s.on_dispatch(seq);
+                for set in ALL_SETS {
+                    s.insert(set, seq, i);
+                }
+            }
+            // The pipeline squash: pop younger µops (tail first), then
+            // the legacy bulk cleanup.
+            s.on_squash_pop(9);
+            s.squash_after(5);
+            for set in ALL_SETS {
+                assert_eq!(contents(&s, set), vec![1, 5], "flat={flat}");
+            }
         }
     }
 
     #[test]
-    fn dep_lists_roundtrip() {
-        let mut s = Scheduler::new(2);
-        s.register_dep(1, 4);
-        s.register_dep(1, 8);
-        assert_eq!(s.take_deps(1), vec![4, 8]);
-        assert!(s.take_deps(1).is_empty());
-        assert!(s.take_deps(0).is_empty());
+    fn squash_and_age_order_across_ring_wraparound() {
+        for flat in [true, false] {
+            let mut s = sched(flat);
+            // Fill most of the 8-slot ring...
+            for (i, seq) in (10..16).enumerate() {
+                s.on_dispatch(seq);
+                s.insert(SetId::Waiting, seq, i);
+            }
+            // ...commit 5 heads so later dispatches wrap slots 0..=2.
+            for seq in 10..15 {
+                s.remove(SetId::Waiting, seq, 0);
+                s.on_commit_head();
+            }
+            for (i, seq) in (20..26).enumerate() {
+                s.on_dispatch(seq);
+                s.insert(SetId::Waiting, seq, 1 + i);
+                s.insert(SetId::InflightLoads, seq, 1 + i);
+            }
+            // Age order across the wrap: head is µop 15 at ROB index 0.
+            assert_eq!(
+                contents(&s, SetId::Waiting),
+                vec![15, 20, 21, 22, 23, 24, 25],
+                "flat={flat}"
+            );
+            assert_eq!(s.nth(SetId::Waiting, 3), Some(22), "flat={flat}");
+            let mut below = Vec::new();
+            s.collect_below(SetId::Waiting, 23, &mut below);
+            assert_eq!(below, vec![15, 20, 21, 22], "flat={flat}");
+            // Squash the youngest three (all on wrapped slots).
+            for seq in [25, 24, 23] {
+                s.on_squash_pop(seq);
+            }
+            s.squash_after(22);
+            assert_eq!(
+                contents(&s, SetId::Waiting),
+                vec![15, 20, 21, 22],
+                "flat={flat}"
+            );
+            assert_eq!(
+                contents(&s, SetId::InflightLoads),
+                vec![20, 21, 22],
+                "flat={flat}"
+            );
+            // Refill the squashed slots: no leakage from the dead µops.
+            for (i, seq) in (30..33).enumerate() {
+                s.on_dispatch(seq);
+                s.insert(SetId::Waiting, seq, 4 + i);
+            }
+            assert_eq!(
+                contents(&s, SetId::Waiting),
+                vec![15, 20, 21, 22, 30, 31, 32],
+                "flat={flat}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_stamps_skip_stale_wheel_events() {
+        let mut s = sched(true);
+        s.on_dispatch(1);
+        s.on_dispatch(2);
+        s.schedule_completion(50, 2, 1);
+        s.on_squash_pop(2);
+        s.squash_after(1);
+        // The stale event stays in the wheel and keeps feeding the
+        // cached minimum (fast-forward jump-target parity)...
+        assert_eq!(s.next_completion_cycle(), Some(50));
+        // ...and the reused slot's new occupant shares its bucket.
+        s.on_dispatch(3);
+        s.schedule_completion(50, 3, 1);
+        let mut out = Vec::new();
+        s.pop_completions(50, &mut out);
+        assert_eq!(
+            out,
+            vec![3],
+            "stale event for squashed seq 2 must be skipped"
+        );
+        assert_eq!(s.next_completion_cycle(), None);
+        // Stale event whose slot was *not* reused: window check.
+        s.on_dispatch(4);
+        s.schedule_completion(60, 4, 2);
+        s.on_squash_pop(4);
+        s.squash_after(3);
+        out.clear();
+        s.pop_completions(60, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn wheel_overflow_beyond_horizon() {
+        // max_latency 30 → 32-bucket ring: deadlines 32 cycles apart
+        // collide and the younger goes to the sorted overflow list.
+        let mut s = sched(true);
+        s.on_dispatch(1);
+        s.on_dispatch(2);
+        s.schedule_completion(5, 1, 0);
+        s.schedule_completion(5 + 32, 2, 1);
+        assert_eq!(s.next_completion_cycle(), Some(5));
+        let mut out = Vec::new();
+        s.pop_completions(5, &mut out);
+        assert_eq!(out, vec![1]);
+        assert_eq!(s.next_completion_cycle(), Some(37));
+        s.pop_completions(37, &mut out);
+        assert_eq!(out, vec![2]);
+        assert_eq!(s.next_completion_cycle(), None);
+    }
+
+    #[test]
+    fn dep_lists_roundtrip_in_registration_order() {
+        for flat in [true, false] {
+            let mut s = sched(flat);
+            s.on_dispatch(4);
+            s.on_dispatch(8);
+            s.register_dep(1, 4, 0);
+            s.register_dep(1, 8, 1);
+            let mut out = Vec::new();
+            s.drain_deps(1, &mut out);
+            assert_eq!(out, vec![4, 8], "flat={flat}");
+            out.clear();
+            s.drain_deps(1, &mut out);
+            s.drain_deps(0, &mut out);
+            assert!(out.is_empty(), "flat={flat}");
+        }
+    }
+
+    #[test]
+    fn flat_dep_lists_unlink_on_squash_and_reset_by_epoch() {
+        let mut s = sched(true);
+        s.on_dispatch(1);
+        s.on_dispatch(2);
+        s.on_dispatch(3);
+        s.register_dep(5, 1, 0);
+        s.register_dep(5, 2, 1);
+        s.register_dep(5, 3, 2);
+        // Squash the middle registrant's younger sibling and the middle
+        // one itself: both unlink in O(1), the head survives.
+        s.on_squash_pop(3);
+        s.on_squash_pop(2);
+        s.squash_after(1);
+        let mut out = Vec::new();
+        s.drain_deps(5, &mut out);
+        assert_eq!(out, vec![1]);
+        // Epoch reset: parked µops from before reset() read as empty.
+        s.on_dispatch(9);
+        s.register_dep(5, 9, 1);
+        s.reset();
+        out.clear();
+        s.drain_deps(5, &mut out);
+        assert!(out.is_empty());
+        // The arena is fully usable after the O(1) reset.
+        s.on_dispatch(11);
+        s.register_dep(5, 11, 0);
+        out.clear();
+        s.drain_deps(5, &mut out);
+        assert_eq!(out, vec![11]);
+    }
+
+    #[test]
+    fn disambiguation_walks_match_across_backends() {
+        let mut flat = sched(true);
+        let mut btree = sched(false);
+        for s in [&mut flat, &mut btree] {
+            for (i, seq) in (1..=6).enumerate() {
+                s.on_dispatch(seq);
+                if seq % 2 == 1 {
+                    s.insert(SetId::InflightStores, seq, i);
+                } else {
+                    s.insert(SetId::InflightLoads, seq, i);
+                }
+            }
+        }
+        for s in [&flat, &btree] {
+            let mut stores = Vec::new();
+            // Stores older than the load seq 6 (ROB index 5),
+            // youngest first.
+            s.for_each_store_older(6, 5, |q| {
+                stores.push(q);
+                true
+            });
+            assert_eq!(stores, vec![5, 3, 1]);
+            let mut loads = Vec::new();
+            // Loads younger than the store seq 1 (ROB index 0), oldest
+            // first, with an early stop.
+            s.for_each_load_younger(1, 0, |q| {
+                loads.push(q);
+                q != 4
+            });
+            assert_eq!(loads, vec![2, 4]);
+        }
+    }
+
+    #[test]
+    fn occupancy_high_water_marks() {
+        for flat in [true, false] {
+            let mut s = sched(flat);
+            for (i, seq) in (1..=3).enumerate() {
+                s.on_dispatch(seq);
+                s.insert(SetId::Waiting, seq, i);
+            }
+            s.remove(SetId::Waiting, 3, 2);
+            s.insert(SetId::Waiting, 3, 2);
+            assert_eq!(s.iq_hwm(), 3, "flat={flat}");
+            s.schedule_completion(4, 1, 0);
+            s.schedule_completion(4, 2, 1);
+            let mut out = Vec::new();
+            s.pop_completions(4, &mut out);
+            s.schedule_completion(9, 3, 2);
+            assert_eq!(s.wheel_hwm(), 2, "flat={flat}");
+            s.reset();
+            assert_eq!((s.iq_hwm(), s.wheel_hwm()), (0, 0), "flat={flat}");
+        }
     }
 
     #[test]
     fn progress_flag_lifecycle() {
-        let mut s = Scheduler::new(1);
+        let mut s = sched(true);
         assert!(!s.progress());
         s.mark_progress();
         assert!(s.progress());

@@ -53,6 +53,12 @@ pub struct Stats {
     pub l3_hits: u64,
     /// L3 misses (DRAM accesses).
     pub l3_misses: u64,
+    /// High-water mark of issue-queue occupancy (waiting µops) — data
+    /// for tuning `iq_size`.
+    pub iq_hwm: u64,
+    /// High-water mark of outstanding completion-wheel events (live and
+    /// stale) — data for sizing the calendar-queue bucket ring.
+    pub wheel_hwm: u64,
     /// Policy-specific statistics.
     pub policy: Vec<(String, f64)>,
 }
