@@ -59,6 +59,18 @@ echo "== threaded oracle differential (release + debug)"
 cargo test -q --release --offline -p protean-bench --test threaded_oracle_equiv
 cargo test -q --offline -p protean-bench --test threaded_oracle_equiv
 
+echo "== component-model differentials: flat cache + TAGE folds (release + debug)"
+# The flat SoA/word-bitmap cache and the incrementally folded TAGE are
+# the only implementations on the simulation paths; the boxed-bool
+# cache and the reference history fold survive solely as test oracles,
+# so these differential suites are the equivalence gate (there is no
+# runtime toggle to byte-compare across). The debug pass arms overflow
+# checks on the wrapping metadata arithmetic (u64::MAX-spanning ranges).
+cargo test -q --release --offline -p protean-sim --test cache_flat_equiv
+cargo test -q --offline -p protean-sim --test cache_flat_equiv
+cargo test -q --release --offline -p protean-sim --test tage_fold_equiv
+cargo test -q --offline -p protean-sim --test tage_fold_equiv
+
 echo "== bench JSON smoke (ablation_fixes --quick + perf_smoke + validate_json)"
 # Two bench binaries end to end: write their JSON reports to a scratch
 # dir, then check them against the schema shared by all reports.

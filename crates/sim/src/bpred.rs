@@ -25,12 +25,20 @@ use std::sync::Arc;
 pub struct TagePredictor {
     /// Bimodal base: 2-bit counters.
     base: Vec<u8>,
-    /// Tagged components: (tag, 3-bit counter, useful bit).
-    tables: Vec<Vec<TageEntry>>,
+    /// Tagged components, flattened: the entry at index `i` of table `t`
+    /// lives at `(t << TABLE_BITS) | i` — one contiguous allocation
+    /// instead of a `Vec<Vec<_>>` pointer chase per table.
+    entries: Vec<TageEntry>,
     history: u64,
+    /// Per-table folded-history registers, maintained incrementally on
+    /// each history shift (Seznec & Michaud's folded histories). The
+    /// invariant `folds[t] == fold_reference(history, HIST_LENGTHS[t])`
+    /// holds at every point, so `predict`/`update` index their tables
+    /// without re-folding the 64-bit history.
+    folds: [u64; N_TABLES],
 }
 
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 struct TageEntry {
     tag: u16,
     ctr: i8,
@@ -39,44 +47,84 @@ struct TageEntry {
 
 const BASE_BITS: usize = 12;
 const TABLE_BITS: usize = 10;
-const HIST_LENGTHS: [u32; 3] = [4, 16, 64];
+const TABLE_MASK: u64 = (1 << TABLE_BITS) - 1;
+const N_TABLES: usize = HIST_LENGTHS.len();
+
+/// The geometric history lengths of the tagged tables, in table order
+/// (public so the fold-equivalence property test can sweep all three).
+pub const HIST_LENGTHS: [u32; 3] = [4, 16, 64];
 
 impl TagePredictor {
     /// Creates a predictor with all counters weakly not-taken.
     pub fn new() -> TagePredictor {
         TagePredictor {
             base: vec![1; 1 << BASE_BITS],
-            tables: (0..HIST_LENGTHS.len())
-                .map(|_| vec![TageEntry::default(); 1 << TABLE_BITS])
-                .collect(),
+            entries: vec![TageEntry::default(); N_TABLES << TABLE_BITS],
             history: 0,
+            folds: [0; N_TABLES],
         }
     }
 
-    fn fold_history(&self, bits: u32) -> u64 {
+    /// Reference history fold (the original `fold_history`): mask the
+    /// history to its low `bits`, then XOR `TABLE_BITS`-wide chunks.
+    /// Retained as the oracle the incremental registers are
+    /// differentially tested against (`tests/tage_fold_equiv.rs`); the
+    /// hot paths never call it.
+    pub fn fold_reference(history: u64, bits: u32) -> u64 {
         let h = if bits >= 64 {
-            self.history
+            history
         } else {
-            self.history & ((1u64 << bits) - 1)
+            history & ((1u64 << bits) - 1)
         };
         // Fold to TABLE_BITS.
         let mut folded = 0u64;
         let mut rest = h;
         while rest != 0 {
-            folded ^= rest & ((1 << TABLE_BITS) - 1);
+            folded ^= rest & TABLE_MASK;
             rest >>= TABLE_BITS;
         }
         folded
     }
 
+    /// The current per-table folded-history registers (introspection for
+    /// the fold-equivalence tests).
+    pub fn folds(&self) -> [u64; N_TABLES] {
+        self.folds
+    }
+
+    /// Shifts direction bit `taken` into the global history, updating
+    /// every folded register incrementally.
+    ///
+    /// With `W = TABLE_BITS`, the fold of an `len`-bit history is
+    /// `XOR_i bit_i << (i mod W)`. Shifting moves every bit up one
+    /// position and drops bit `len-1`, so the new fold is the old fold
+    /// rotated left by one within `W` bits, XOR the incoming bit at
+    /// position 0, XOR the outgoing bit at position `len mod W` (where
+    /// rotation parked it). O(1) per table versus the O(len/W) re-fold.
+    #[inline]
+    fn shift_history(&mut self, taken: bool) {
+        let b = taken as u64;
+        for (t, &len) in HIST_LENGTHS.iter().enumerate() {
+            let out_bit = (self.history >> (len - 1)) & 1;
+            let f = self.folds[t];
+            let rotated = ((f << 1) | (f >> (TABLE_BITS - 1))) & TABLE_MASK;
+            self.folds[t] = rotated ^ b ^ (out_bit << (len as usize % TABLE_BITS));
+        }
+        self.history = (self.history << 1) | b;
+    }
+
+    /// Flat index of entry `index` of table `table`.
+    #[inline]
+    fn slot(table: usize, index: usize) -> usize {
+        (table << TABLE_BITS) | index
+    }
+
     fn index(&self, pc: u64, table: usize) -> usize {
-        let folded = self.fold_history(HIST_LENGTHS[table]);
-        (((pc >> 2) ^ folded ^ (pc >> 13)) & ((1 << TABLE_BITS) - 1)) as usize
+        (((pc >> 2) ^ self.folds[table] ^ (pc >> 13)) & TABLE_MASK) as usize
     }
 
     fn tag(&self, pc: u64, table: usize) -> u16 {
-        let folded = self.fold_history(HIST_LENGTHS[table]);
-        ((((pc >> 2) >> TABLE_BITS) ^ folded.rotate_left(3) ^ pc) & 0xff) as u16 | 0x100
+        ((((pc >> 2) >> TABLE_BITS) ^ self.folds[table].rotate_left(3) ^ pc) & 0xff) as u16 | 0x100
     }
 
     fn base_index(&self, pc: u64) -> usize {
@@ -86,8 +134,8 @@ impl TagePredictor {
     /// Predicts the direction of the conditional branch at `pc`.
     pub fn predict(&self, pc: u64) -> bool {
         // Longest matching tagged table wins.
-        for table in (0..self.tables.len()).rev() {
-            let e = &self.tables[table][self.index(pc, table)];
+        for table in (0..N_TABLES).rev() {
+            let e = &self.entries[Self::slot(table, self.index(pc, table))];
             if e.tag == self.tag(pc, table) {
                 return e.ctr >= 0;
             }
@@ -100,16 +148,16 @@ impl TagePredictor {
     pub fn update(&mut self, pc: u64, predicted: bool, taken: bool) {
         // Find the provider.
         let mut provider = None;
-        for table in (0..self.tables.len()).rev() {
+        for table in (0..N_TABLES).rev() {
             let idx = self.index(pc, table);
-            if self.tables[table][idx].tag == self.tag(pc, table) {
+            if self.entries[Self::slot(table, idx)].tag == self.tag(pc, table) {
                 provider = Some((table, idx));
                 break;
             }
         }
         match provider {
             Some((table, idx)) => {
-                let e = &mut self.tables[table][idx];
+                let e = &mut self.entries[Self::slot(table, idx)];
                 // Credit the useful bit from the *provider's own*
                 // direction, not the overall prediction: the provider may
                 // have been overridden (or simply wrong) while the final
@@ -128,10 +176,10 @@ impl TagePredictor {
         // On a misprediction, try to allocate in a longer table.
         if predicted != taken {
             let start = provider.map(|(t, _)| t + 1).unwrap_or(0);
-            for table in start..self.tables.len() {
+            for table in start..N_TABLES {
                 let idx = self.index(pc, table);
                 let tag = self.tag(pc, table);
-                let e = &mut self.tables[table][idx];
+                let e = &mut self.entries[Self::slot(table, idx)];
                 if !e.useful {
                     *e = TageEntry {
                         tag,
@@ -143,17 +191,16 @@ impl TagePredictor {
                 e.useful = false; // age
             }
         }
-        self.history = (self.history << 1) | taken as u64;
+        self.shift_history(taken);
     }
 
     /// Restores the freshly-constructed state without reallocating the
     /// tables (the `Core::reset` arena path).
     pub fn reset(&mut self) {
         self.base.fill(1);
-        for table in &mut self.tables {
-            table.fill(TageEntry::default());
-        }
+        self.entries.fill(TageEntry::default());
         self.history = 0;
+        self.folds = [0; N_TABLES];
     }
 
     /// Speculatively shifts a predicted (or squash-recovered actual)
@@ -165,7 +212,7 @@ impl TagePredictor {
     /// `pc` is accepted for symmetry with `predict`/`update` (and for
     /// future path-based histories); the current fold ignores it.
     pub fn speculate(&mut self, _pc: u64, taken: bool) {
-        self.history = (self.history << 1) | taken as u64;
+        self.shift_history(taken);
     }
 
     /// Snapshot of the global history (for squash recovery).
@@ -173,9 +220,14 @@ impl TagePredictor {
         self.history
     }
 
-    /// Restores the global history (on squash).
+    /// Restores the global history (on squash), recomputing the folded
+    /// registers from the reference fold (squashes are rare next to
+    /// predicts, so the full re-fold lives here and only here).
     pub fn restore_history(&mut self, history: u64) {
         self.history = history;
+        for (t, &len) in HIST_LENGTHS.iter().enumerate() {
+            self.folds[t] = Self::fold_reference(history, len);
+        }
     }
 }
 
@@ -438,10 +490,12 @@ mod tests {
         // prediction it did not make.)
         let mut p = TagePredictor::new();
         let pc = 0x8888;
+        // Table 0 starts at flat slot 0, so its entry `idx` is
+        // `p.entries[idx]`.
         let idx = p.index(pc, 0);
         let tag = p.tag(pc, 0);
         // Seed a table-0 provider whose own counter says not-taken.
-        p.tables[0][idx] = TageEntry {
+        p.entries[idx] = TageEntry {
             tag,
             ctr: -1,
             useful: false,
@@ -450,7 +504,7 @@ mod tests {
         // provider wrong.
         p.update(pc, true, true);
         assert!(
-            !p.tables[0][idx].useful,
+            !p.entries[idx].useful,
             "a provider whose own direction mispredicted must not be pinned useful"
         );
     }
@@ -461,7 +515,7 @@ mod tests {
         let pc = 0x8888;
         let idx = p.index(pc, 0);
         let tag = p.tag(pc, 0);
-        p.tables[0][idx] = TageEntry {
+        p.entries[idx] = TageEntry {
             tag,
             ctr: -1,
             useful: false,
@@ -470,21 +524,65 @@ mod tests {
         // predictions: the pre-fix code pinned `useful` on the first.
         for _ in 0..4 {
             p.restore_history(0);
-            p.tables[0][idx].ctr = -1;
+            p.entries[idx].ctr = -1;
             p.update(pc, true, true);
         }
-        assert!(!p.tables[0][idx].useful);
+        assert!(!p.entries[idx].useful);
         // An aliasing branch now occupies the slot (same index, other
         // tag). A base-provider misprediction must reclaim the slot at
         // table 0 immediately instead of being stuck aging a
         // falsely-useful entry into a longer table.
-        p.tables[0][idx].tag = tag ^ 0x1;
+        p.entries[idx].tag = tag ^ 0x1;
         p.restore_history(0);
         p.update(pc, false, true);
         assert_eq!(
-            p.tables[0][idx].tag, tag,
+            p.entries[idx].tag, tag,
             "misprediction must allocate the non-useful table-0 slot"
         );
+    }
+
+    #[test]
+    fn incremental_folds_track_reference_fold() {
+        // The incremental folded registers must be bit-identical to the
+        // reference fold of the masked history after every kind of
+        // history mutation (the invariant `predict`/`update` indexing
+        // relies on). Drives a deterministic but irregular bit stream
+        // through speculate/update/restore and checks all three lengths.
+        let mut p = TagePredictor::new();
+        let check = |p: &TagePredictor, step: usize| {
+            for (t, &len) in HIST_LENGTHS.iter().enumerate() {
+                assert_eq!(
+                    p.folds()[t],
+                    TagePredictor::fold_reference(p.history(), len),
+                    "fold register {t} (len {len}) diverged at step {step}"
+                );
+            }
+        };
+        check(&p, 0);
+        let mut snap = (0, 0u64);
+        for i in 1..=300usize {
+            let taken = (i * i + i / 3) % 5 < 2;
+            match i % 7 {
+                0 => {
+                    let pred = p.predict(0x40_0000 + (i as u64 * 4));
+                    p.update(0x40_0000 + (i as u64 * 4), pred, taken);
+                }
+                3 => {
+                    snap = (i, p.history());
+                }
+                5 => p.restore_history(snap.1),
+                _ => p.speculate(0x1234, taken),
+            }
+            check(&p, i);
+        }
+        // All 64 bits of history populated: the len-64 register now
+        // exercises the drop-out path on every shift.
+        for i in 0..80usize {
+            p.speculate(0, i % 3 == 0);
+            check(&p, 1000 + i);
+        }
+        p.reset();
+        check(&p, usize::MAX);
     }
 
     #[test]

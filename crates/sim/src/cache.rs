@@ -6,20 +6,28 @@
 //! that ProtISA (§IV-C2a) and SPT attach to it. Evicting a line drops its
 //! metadata, which is exactly the "L1D evictions cause ProtISA to forget
 //! what data was unprotected" behaviour.
+//!
+//! # Data layout
+//!
+//! [`Cache`] is a structure-of-arrays: three flat vectors indexed by
+//! `set * ways + way` instead of a `Vec` of per-line structs. Tags live
+//! in one contiguous `Vec<u64>` (with [`INVALID_TAG`] as the
+//! invalid-line sentinel), so a way probe is a linear scan of a few
+//! adjacent words; LRU stamps live in a parallel `Vec<u64>`; and the
+//! per-byte metadata is a bitmap of [`CacheConfig::meta_words_per_line`]
+//! `u64` words per line, so `meta_any` / `meta_all` / `meta_set` are
+//! masked word operations and a miss fill is one word store per 64 bytes
+//! of line instead of a per-byte `bool` loop. [`BoolMetaCache`] retains
+//! the original boxed-`bool` representation as a differential-test
+//! oracle (see `tests/cache_flat_equiv.rs`).
 
 use crate::CacheConfig;
 
-/// One cache line: tag plus per-byte metadata bits.
-#[derive(Clone, Debug)]
-struct Line {
-    /// Line-aligned address (`addr & !(line_bytes-1)`), or `None` if
-    /// invalid.
-    tag: Option<u64>,
-    /// LRU timestamp.
-    lru: u64,
-    /// Per-byte metadata (ProtISA protection bits / SPT shadow bits).
-    meta: Box<[bool]>,
-}
+/// Sentinel stored in [`Cache::tags`] for an invalid way. Real tags are
+/// line-aligned addresses, and `line_bytes >= 2` (enforced in
+/// [`Cache::new`]) means `u64::MAX` is never line-aligned, so the
+/// sentinel can never collide with a resident line.
+const INVALID_TAG: u64 = u64::MAX;
 
 /// A set-associative, LRU, write-allocate cache (timing + metadata).
 ///
@@ -36,12 +44,21 @@ struct Line {
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    /// All lines in one contiguous allocation: way `w` of set `s` lives
-    /// at index `s * ways + w`. Every per-set operation touches one
-    /// cache-friendly slice instead of chasing a per-set heap pointer.
-    lines: Vec<Line>,
+    /// Line tags in one flat array: way `w` of set `s` lives at index
+    /// `s * ways + w`. [`INVALID_TAG`] marks an invalid way, so the hit
+    /// probe is a branch-predictable scan of one contiguous `u64` slice.
+    tags: Vec<u64>,
+    /// LRU timestamps, parallel to `tags`.
+    lru: Vec<u64>,
+    /// Per-byte metadata bitmap: `words_per_line` `u64` words per line,
+    /// bit `b` of word `w` covering byte `w * 64 + b` of the line.
+    meta: Vec<u64>,
+    /// `ceil(line_bytes / 64)` — cached from the config.
+    words_per_line: usize,
     /// Metadata value for bytes of a newly filled line.
     meta_fill: bool,
+    /// The word that fills a fresh line's metadata (`0` or `u64::MAX`).
+    fill_word: u64,
     clock: u64,
     /// Hits and misses, for statistics.
     pub hits: u64,
@@ -58,54 +75,70 @@ pub struct AccessResult {
     pub evicted: Option<u64>,
 }
 
+/// Mask selecting bits `[lo, lo + n)` of a `u64` word (`n <= 64`).
+#[inline]
+fn range_mask(lo: u64, n: u64) -> u64 {
+    debug_assert!(lo < 64 && n >= 1 && lo + n <= 64);
+    (u64::MAX >> (64 - n)) << lo
+}
+
 impl Cache {
     /// Creates an empty cache. `meta_fill` is the metadata value given to
     /// every byte of a newly allocated line (ProtISA: `true` = protected;
     /// SPT shadow bits: `false` = private).
     pub fn new(cfg: CacheConfig, meta_fill: bool) -> Cache {
-        let lines = (0..cfg.sets() * cfg.ways)
-            .map(|_| Line {
-                tag: None,
-                lru: 0,
-                meta: vec![meta_fill; cfg.line_bytes].into_boxed_slice(),
-            })
-            .collect();
+        assert!(
+            cfg.line_bytes.is_power_of_two() && cfg.line_bytes >= 2,
+            "line_bytes must be a power of two >= 2 (INVALID_TAG sentinel)"
+        );
+        let lines = cfg.lines();
+        let words_per_line = cfg.meta_words_per_line();
+        let fill_word = if meta_fill { u64::MAX } else { 0 };
         Cache {
             cfg,
-            lines,
+            tags: vec![INVALID_TAG; lines],
+            lru: vec![0; lines],
+            meta: vec![fill_word; lines * words_per_line],
+            words_per_line,
             meta_fill,
+            fill_word,
             clock: 0,
             hits: 0,
             misses: 0,
         }
     }
 
-    /// Empties the cache in place, reusing the line and metadata
-    /// allocations (the `Core::reset` arena path). `meta_fill` may
-    /// change because it is policy-derived and the arena is reused
-    /// across policies.
-    pub fn reset(&mut self, meta_fill: bool) {
-        for line in &mut self.lines {
-            line.tag = None;
-            line.lru = 0;
-            line.meta.fill(meta_fill);
+    /// A configuration-only husk with no line storage, for
+    /// `std::mem::replace` swaps that need *a* `Cache` value which is
+    /// then dropped unused (the shared-L3 hand-back in
+    /// [`crate::Multicore`]). Accessing it panics.
+    pub(crate) fn placeholder(cfg: CacheConfig) -> Cache {
+        Cache {
+            cfg,
+            tags: Vec::new(),
+            lru: Vec::new(),
+            meta: Vec::new(),
+            words_per_line: 0,
+            meta_fill: true,
+            fill_word: u64::MAX,
+            clock: 0,
+            hits: 0,
+            misses: 0,
         }
+    }
+
+    /// Empties the cache in place, reusing the flat arrays (the
+    /// `Core::reset` arena path). `meta_fill` may change because it is
+    /// policy-derived and the arena is reused across policies.
+    pub fn reset(&mut self, meta_fill: bool) {
         self.meta_fill = meta_fill;
+        self.fill_word = if meta_fill { u64::MAX } else { 0 };
+        self.tags.fill(INVALID_TAG);
+        self.lru.fill(0);
+        self.meta.fill(self.fill_word);
         self.clock = 0;
         self.hits = 0;
         self.misses = 0;
-    }
-
-    /// The ways of set `idx`, in way order.
-    fn set(&self, idx: usize) -> &[Line] {
-        let base = idx * self.cfg.ways;
-        &self.lines[base..base + self.cfg.ways]
-    }
-
-    /// Mutable ways of set `idx`, in way order.
-    fn set_mut(&mut self, idx: usize) -> &mut [Line] {
-        let base = idx * self.cfg.ways;
-        &mut self.lines[base..base + self.cfg.ways]
     }
 
     /// The configuration.
@@ -121,8 +154,330 @@ impl Cache {
         ((addr / self.cfg.line_bytes as u64) % self.cfg.sets() as u64) as usize
     }
 
+    /// Index into the flat arrays of the resident way holding line `la`
+    /// (a line-aligned address), or `None`. `la` can never equal
+    /// [`INVALID_TAG`], so invalid ways never match.
+    #[inline]
+    fn find_way(&self, la: u64) -> Option<usize> {
+        let base = self.set_index(la) * self.cfg.ways;
+        self.tags[base..base + self.cfg.ways]
+            .iter()
+            .position(|&t| t == la)
+            .map(|w| base + w)
+    }
+
     /// Returns `true` if the line containing `addr` is resident (no LRU
     /// update, no allocation).
+    pub fn probe(&self, addr: u64) -> bool {
+        self.find_way(self.line_addr(addr)).is_some()
+    }
+
+    /// Accesses (and allocates on miss) the line containing `addr`,
+    /// updating LRU. Returns hit/miss and any eviction.
+    pub fn access(&mut self, addr: u64) -> AccessResult {
+        self.clock += 1;
+        let la = self.line_addr(addr);
+        if let Some(idx) = self.find_way(la) {
+            self.lru[idx] = self.clock;
+            self.hits += 1;
+            return AccessResult {
+                hit: true,
+                evicted: None,
+            };
+        }
+        self.misses += 1;
+        // Victim: invalid way, else LRU — the *first* way with the
+        // minimal (valid, lru) key, matching `Iterator::min_by_key`.
+        let base = self.set_index(addr) * self.cfg.ways;
+        let mut victim = base;
+        let mut best = (self.tags[base] != INVALID_TAG, self.lru[base]);
+        for idx in base + 1..base + self.cfg.ways {
+            let key = (self.tags[idx] != INVALID_TAG, self.lru[idx]);
+            if key < best {
+                best = key;
+                victim = idx;
+            }
+        }
+        let evicted = (self.tags[victim] != INVALID_TAG).then_some(self.tags[victim]);
+        self.tags[victim] = la;
+        self.lru[victim] = self.clock;
+        let mbase = victim * self.words_per_line;
+        self.meta[mbase..mbase + self.words_per_line].fill(self.fill_word);
+        AccessResult {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Invalidates the line containing `addr` (coherence), dropping its
+    /// metadata. Returns `true` if a line was invalidated.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        match self.find_way(self.line_addr(addr)) {
+            Some(idx) => {
+                self.tags[idx] = INVALID_TAG;
+                let mbase = idx * self.words_per_line;
+                self.meta[mbase..mbase + self.words_per_line].fill(self.fill_word);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// ORs the metadata bits of `[addr, addr+size)`. Bytes on non-resident
+    /// lines contribute `meta_fill` (i.e. protected for ProtISA).
+    ///
+    /// Iterates by an explicit *byte count* with wrapping address
+    /// arithmetic: addresses near `u64::MAX` are fuzzer-reachable, where
+    /// `addr + size` (or `line_addr + line_bytes`) overflows — and a
+    /// wrapping `[addr, addr+size)` range must visit exactly `size`
+    /// bytes (wrapping through 0). Short-circuits on the first set bit.
+    pub fn meta_any(&self, addr: u64, size: u64) -> bool {
+        let mut a = addr;
+        let mut remaining = size;
+        while remaining > 0 {
+            let la = self.line_addr(a);
+            let offset = a - la;
+            let chunk = (self.cfg.line_bytes as u64 - offset).min(remaining);
+            match self.find_way(la) {
+                Some(idx) => {
+                    if self.line_bits_any(idx, offset, chunk) {
+                        return true;
+                    }
+                }
+                // A non-resident chunk contributes `meta_fill` once —
+                // OR is idempotent, so once per byte would be the same
+                // answer for 64x the work.
+                None => {
+                    if self.meta_fill {
+                        return true;
+                    }
+                }
+            }
+            a = a.wrapping_add(chunk);
+            remaining -= chunk;
+        }
+        false
+    }
+
+    /// ANDs the metadata bits of `[addr, addr+size)` (non-resident bytes
+    /// contribute `meta_fill`). Same wrapping byte-count contract as
+    /// [`Cache::meta_any`]; short-circuits on the first clear bit.
+    pub fn meta_all(&self, addr: u64, size: u64) -> bool {
+        let mut a = addr;
+        let mut remaining = size;
+        while remaining > 0 {
+            let la = self.line_addr(a);
+            let offset = a - la;
+            let chunk = (self.cfg.line_bytes as u64 - offset).min(remaining);
+            match self.find_way(la) {
+                Some(idx) => {
+                    if !self.line_bits_all(idx, offset, chunk) {
+                        return false;
+                    }
+                }
+                None => {
+                    if !self.meta_fill {
+                        return false;
+                    }
+                }
+            }
+            a = a.wrapping_add(chunk);
+            remaining -= chunk;
+        }
+        true
+    }
+
+    /// Sets the metadata bits of `[addr, addr+size)` on resident lines to
+    /// `value` (non-resident bytes are untouched: the cache has forgotten
+    /// them). Same wrapping byte-count contract as [`Cache::meta_any`].
+    pub fn meta_set(&mut self, addr: u64, size: u64, value: bool) {
+        let line_bytes = self.cfg.line_bytes as u64;
+        let mut a = addr;
+        let mut remaining = size;
+        while remaining > 0 {
+            let la = self.line_addr(a);
+            let offset = a - la;
+            let chunk = (line_bytes - offset).min(remaining);
+            if let Some(idx) = self.find_way(la) {
+                self.line_bits_set(idx, offset, chunk, value);
+            }
+            a = a.wrapping_add(chunk);
+            remaining -= chunk;
+        }
+    }
+
+    /// Is any metadata bit of line `idx`'s bytes `[offset, offset+count)`
+    /// set? One masked test per touched word.
+    #[inline]
+    fn line_bits_any(&self, idx: usize, offset: u64, count: u64) -> bool {
+        let base = idx * self.words_per_line;
+        let mut word = (offset / 64) as usize;
+        let mut bit = offset % 64;
+        let mut remaining = count;
+        while remaining > 0 {
+            let n = (64 - bit).min(remaining);
+            if self.meta[base + word] & range_mask(bit, n) != 0 {
+                return true;
+            }
+            word += 1;
+            bit = 0;
+            remaining -= n;
+        }
+        false
+    }
+
+    /// Are all metadata bits of line `idx`'s bytes `[offset,
+    /// offset+count)` set?
+    #[inline]
+    fn line_bits_all(&self, idx: usize, offset: u64, count: u64) -> bool {
+        let base = idx * self.words_per_line;
+        let mut word = (offset / 64) as usize;
+        let mut bit = offset % 64;
+        let mut remaining = count;
+        while remaining > 0 {
+            let n = (64 - bit).min(remaining);
+            let mask = range_mask(bit, n);
+            if self.meta[base + word] & mask != mask {
+                return false;
+            }
+            word += 1;
+            bit = 0;
+            remaining -= n;
+        }
+        true
+    }
+
+    /// Sets line `idx`'s metadata bits for bytes `[offset, offset+count)`
+    /// to `value` with one masked store per touched word.
+    #[inline]
+    fn line_bits_set(&mut self, idx: usize, offset: u64, count: u64, value: bool) {
+        let base = idx * self.words_per_line;
+        let mut word = (offset / 64) as usize;
+        let mut bit = offset % 64;
+        let mut remaining = count;
+        while remaining > 0 {
+            let n = (64 - bit).min(remaining);
+            let mask = range_mask(bit, n);
+            if value {
+                self.meta[base + word] |= mask;
+            } else {
+                self.meta[base + word] &= !mask;
+            }
+            word += 1;
+            bit = 0;
+            remaining -= n;
+        }
+    }
+
+    /// The adversary-visible tag state: for each set, the resident line
+    /// addresses ordered by recency (a FLUSH+RELOAD/PRIME+PROBE-grade
+    /// observation). Allocates; the run loop uses
+    /// [`Cache::tag_observation_into`] with arena-owned buffers.
+    pub fn tag_observation(&self) -> Vec<u64> {
+        let mut obs = Vec::with_capacity(self.cfg.sets() * (self.cfg.ways + 1));
+        let mut scratch = Vec::with_capacity(self.cfg.ways);
+        self.tag_observation_into(&mut obs, &mut scratch);
+        obs
+    }
+
+    /// Appends the tag observation to `out`, sorting each set's resident
+    /// ways in `scratch` (both caller-provided so the per-run hot path
+    /// does not allocate).
+    pub fn tag_observation_into(&self, out: &mut Vec<u64>, scratch: &mut Vec<(u64, u64)>) {
+        out.reserve(self.cfg.sets() * (self.cfg.ways + 1));
+        for (i, set_tags) in self.tags.chunks_exact(self.cfg.ways).enumerate() {
+            let base = i * self.cfg.ways;
+            scratch.clear();
+            scratch.extend(
+                set_tags
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &t)| t != INVALID_TAG)
+                    .map(|(w, &t)| (self.lru[base + w], t)),
+            );
+            scratch.sort_unstable();
+            out.push(i as u64);
+            out.extend(scratch.iter().map(|&(_, t)| t));
+        }
+    }
+
+    /// Hit rate so far (1.0 if no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cache line of the boxed-`bool` oracle: tag plus per-byte metadata.
+#[derive(Clone, Debug)]
+struct BoolLine {
+    /// Line-aligned address (`addr & !(line_bytes-1)`), or `None` if
+    /// invalid.
+    tag: Option<u64>,
+    /// LRU timestamp.
+    lru: u64,
+    /// Per-byte metadata (ProtISA protection bits / SPT shadow bits).
+    meta: Box<[bool]>,
+}
+
+/// The original `Vec<Line>` cache with heap `Box<[bool]>` per-byte
+/// metadata, retained as the differential-test oracle for the flat
+/// word-level [`Cache`] (`tests/cache_flat_equiv.rs`). Not used on any
+/// simulation path.
+#[derive(Clone, Debug)]
+pub struct BoolMetaCache {
+    cfg: CacheConfig,
+    /// All lines in one contiguous allocation: way `w` of set `s` lives
+    /// at index `s * ways + w`.
+    lines: Vec<BoolLine>,
+    /// Metadata value for bytes of a newly filled line.
+    meta_fill: bool,
+    clock: u64,
+    /// Hit counter.
+    pub hits: u64,
+    /// Miss counter.
+    pub misses: u64,
+}
+
+impl BoolMetaCache {
+    /// Creates an empty oracle cache (same contract as [`Cache::new`]).
+    pub fn new(cfg: CacheConfig, meta_fill: bool) -> BoolMetaCache {
+        let lines = (0..cfg.sets() * cfg.ways)
+            .map(|_| BoolLine {
+                tag: None,
+                lru: 0,
+                meta: vec![meta_fill; cfg.line_bytes].into_boxed_slice(),
+            })
+            .collect();
+        BoolMetaCache {
+            cfg,
+            lines,
+            meta_fill,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The ways of set `idx`, in way order.
+    fn set(&self, idx: usize) -> &[BoolLine] {
+        let base = idx * self.cfg.ways;
+        &self.lines[base..base + self.cfg.ways]
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.line_bytes as u64 - 1)
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.cfg.line_bytes as u64) % self.cfg.sets() as u64) as usize
+    }
+
+    /// Residency probe (no LRU update, no allocation).
     pub fn probe(&self, addr: u64) -> bool {
         let la = self.line_addr(addr);
         self.set(self.set_index(addr))
@@ -131,7 +486,7 @@ impl Cache {
     }
 
     /// Accesses (and allocates on miss) the line containing `addr`,
-    /// updating LRU. Returns hit/miss and any eviction.
+    /// updating LRU (same contract as [`Cache::access`]).
     pub fn access(&mut self, addr: u64) -> AccessResult {
         self.clock += 1;
         let la = self.line_addr(addr);
@@ -164,13 +519,13 @@ impl Cache {
         }
     }
 
-    /// Invalidates the line containing `addr` (coherence), dropping its
-    /// metadata. Returns `true` if a line was invalidated.
+    /// Invalidates the line containing `addr`, dropping its metadata.
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let la = self.line_addr(addr);
         let set_idx = self.set_index(addr);
         let meta_fill = self.meta_fill;
-        for line in self.set_mut(set_idx) {
+        let base = set_idx * self.cfg.ways;
+        for line in &mut self.lines[base..base + self.cfg.ways] {
             if line.tag == Some(la) {
                 line.tag = None;
                 line.meta.fill(meta_fill);
@@ -180,31 +535,41 @@ impl Cache {
         false
     }
 
-    /// ORs the metadata bits of `[addr, addr+size)`. Bytes on non-resident
-    /// lines contribute `meta_fill` (i.e. protected for ProtISA).
+    /// ORs the metadata bits of `[addr, addr+size)` (non-resident bytes
+    /// contribute `meta_fill`).
     pub fn meta_any(&self, addr: u64, size: u64) -> bool {
-        self.meta_fold(addr, size, false, |acc, b| acc | b)
+        self.meta_fold(addr, size, false, true, |acc, b| acc | b)
     }
 
     /// ANDs the metadata bits of `[addr, addr+size)` (non-resident bytes
     /// contribute `meta_fill`).
     pub fn meta_all(&self, addr: u64, size: u64) -> bool {
-        self.meta_fold(addr, size, true, |acc, b| acc & b)
+        self.meta_fold(addr, size, true, false, |acc, b| acc & b)
     }
 
-    /// Folds `f` over the `size` metadata bits starting at `addr`.
-    ///
-    /// Iterates by an explicit *byte count* with wrapping address
-    /// arithmetic: addresses near `u64::MAX` are fuzzer-reachable, where
-    /// `addr + size` (or `line_addr + line_bytes`) overflows — and a
-    /// wrapping `[addr, addr+size)` range must visit exactly `size`
-    /// bytes (wrapping through 0), not walk until the cursor happens to
-    /// equal the wrapped end.
-    fn meta_fold(&self, addr: u64, size: u64, init: bool, f: impl Fn(bool, bool) -> bool) -> bool {
+    /// Folds `f` over the `size` metadata bits starting at `addr`, with
+    /// the wrapping byte-count contract documented on
+    /// [`Cache::meta_any`]. A non-resident chunk's contribution is a
+    /// *single* fold of `meta_fill` (OR and AND are idempotent, so
+    /// folding it once per byte — as the original code did — computes
+    /// the same value for `line_bytes`× the work), and the walk stops
+    /// early once the accumulator reaches `saturated` (a value `f` can
+    /// never leave).
+    fn meta_fold(
+        &self,
+        addr: u64,
+        size: u64,
+        init: bool,
+        saturated: bool,
+        f: impl Fn(bool, bool) -> bool,
+    ) -> bool {
         let mut acc = init;
         let mut a = addr;
         let mut remaining = size;
         while remaining > 0 {
+            if acc == saturated {
+                return acc;
+            }
             let la = self.line_addr(a);
             let offset = a - la;
             let chunk = (self.cfg.line_bytes as u64 - offset).min(remaining);
@@ -215,11 +580,7 @@ impl Cache {
                         acc = f(acc, line.meta[(offset + i) as usize]);
                     }
                 }
-                None => {
-                    for _ in 0..chunk {
-                        acc = f(acc, self.meta_fill);
-                    }
-                }
+                None => acc = f(acc, self.meta_fill),
             }
             a = a.wrapping_add(chunk);
             remaining -= chunk;
@@ -227,11 +588,9 @@ impl Cache {
         acc
     }
 
-    /// Sets the metadata bits of `[addr, addr+size)` on resident lines to
-    /// `value` (non-resident bytes are untouched: the cache has forgotten
-    /// them).
+    /// Sets the metadata bits of `[addr, addr+size)` on resident lines
+    /// (same contract as [`Cache::meta_set`]).
     pub fn meta_set(&mut self, addr: u64, size: u64, value: bool) {
-        // Byte-count bound + wrapping cursor, as in `meta_fold`.
         let line_bytes = self.cfg.line_bytes as u64;
         let mut a = addr;
         let mut remaining = size;
@@ -240,7 +599,11 @@ impl Cache {
             let offset = a - la;
             let chunk = (line_bytes - offset).min(remaining);
             let set_idx = self.set_index(a);
-            if let Some(line) = self.set_mut(set_idx).iter_mut().find(|l| l.tag == Some(la)) {
+            let base = set_idx * self.cfg.ways;
+            if let Some(line) = self.lines[base..base + self.cfg.ways]
+                .iter_mut()
+                .find(|l| l.tag == Some(la))
+            {
                 for i in 0..chunk {
                     line.meta[(offset + i) as usize] = value;
                 }
@@ -250,13 +613,10 @@ impl Cache {
         }
     }
 
-    /// The adversary-visible tag state: for each set, the resident line
-    /// addresses ordered by recency (a FLUSH+RELOAD/PRIME+PROBE-grade
-    /// observation).
+    /// The adversary-visible tag state (same contract as
+    /// [`Cache::tag_observation`]).
     pub fn tag_observation(&self) -> Vec<u64> {
         let mut obs = Vec::with_capacity(self.cfg.sets() * (self.cfg.ways + 1));
-        // One scratch buffer reused across sets (ways is small and
-        // constant) instead of a fresh allocation per set.
         let mut resident: Vec<(u64, u64)> = Vec::with_capacity(self.cfg.ways);
         for (i, set) in self.lines.chunks_exact(self.cfg.ways).enumerate() {
             resident.clear();
@@ -266,16 +626,6 @@ impl Cache {
             obs.extend(resident.iter().map(|&(_, t)| t));
         }
         obs
-    }
-
-    /// Hit rate so far (1.0 if no accesses).
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            1.0
-        } else {
-            self.hits as f64 / total as f64
-        }
     }
 }
 
@@ -413,5 +763,54 @@ mod tests {
         c.access(0x80); // line 0x80
         c.meta_set(0x7c, 8, false); // spans both lines
         assert!(!c.meta_any(0x7c, 8));
+    }
+
+    #[test]
+    fn range_mask_bounds() {
+        assert_eq!(range_mask(0, 64), u64::MAX);
+        assert_eq!(range_mask(0, 1), 1);
+        assert_eq!(range_mask(63, 1), 1 << 63);
+        assert_eq!(range_mask(4, 4), 0xf0);
+    }
+
+    #[test]
+    fn scratch_observation_matches_allocating_path() {
+        let mut c = tiny();
+        for a in [0x000u64, 0x080, 0x040, 0x1c0, 0x000] {
+            c.access(a);
+        }
+        let mut out = vec![0xdead]; // appended-to, not cleared
+        let mut scratch = Vec::new();
+        c.tag_observation_into(&mut out, &mut scratch);
+        assert_eq!(out[0], 0xdead);
+        assert_eq!(&out[1..], c.tag_observation().as_slice());
+    }
+
+    #[test]
+    fn oracle_agrees_on_the_unit_scenarios() {
+        // Spot-check the boxed-bool oracle against the flat cache on the
+        // lifecycle scenario (the exhaustive version is the
+        // `cache_flat_equiv` differential test).
+        let cfg = CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+        };
+        let mut flat = Cache::new(cfg, true);
+        let mut oracle = BoolMetaCache::new(cfg, true);
+        for a in [0x40u64, 0x0c0, 0x140, u64::MAX - 3, 0x40] {
+            assert_eq!(flat.access(a), oracle.access(a));
+        }
+        flat.meta_set(u64::MAX - 3, 8, false);
+        oracle.meta_set(u64::MAX - 3, 8, false);
+        for (addr, size) in [(u64::MAX - 3, 8), (0x40, 9), (0, 4)] {
+            assert_eq!(flat.meta_any(addr, size), oracle.meta_any(addr, size));
+            assert_eq!(flat.meta_all(addr, size), oracle.meta_all(addr, size));
+        }
+        assert_eq!(flat.tag_observation(), oracle.tag_observation());
+        assert_eq!(flat.invalidate(0x140), oracle.invalidate(0x140));
+        assert_eq!(flat.tag_observation(), oracle.tag_observation());
+        assert_eq!((flat.hits, flat.misses), (oracle.hits, oracle.misses));
     }
 }

@@ -34,6 +34,18 @@ impl CacheConfig {
     pub fn sets(&self) -> usize {
         self.size_bytes / (self.ways * self.line_bytes)
     }
+
+    /// Total number of lines (`sets * ways`) — the length of each of the
+    /// flat per-line arrays backing [`crate::Cache`].
+    pub fn lines(&self) -> usize {
+        self.sets() * self.ways
+    }
+
+    /// Number of `u64` words in one line's metadata bitmap
+    /// (`ceil(line_bytes / 64)`): one bit per byte of the line.
+    pub fn meta_words_per_line(&self) -> usize {
+        (self.line_bytes + 63) / 64
+    }
 }
 
 /// How ProtISA tracks memory protection (the §IX-A3 ablation).

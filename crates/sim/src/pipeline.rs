@@ -323,6 +323,10 @@ pub struct Core<'a> {
     completions: Vec<Seq>,
     /// Scratch for draining dependent lists in `publish_ready`.
     dep_scratch: Vec<Seq>,
+    /// Scratch for sorting each cache set's resident ways by recency in
+    /// the end-of-run `tag_observation_into` calls (reused across runs;
+    /// the observation itself goes straight into the `SimResult` vector).
+    obs_scratch: Vec<(u64, u64)>,
 
     // Memory.
     mem: Memory,
@@ -419,6 +423,7 @@ impl<'a> Core<'a> {
             exec_blocked: Vec::new(),
             completions: Vec::new(),
             dep_scratch: Vec::new(),
+            obs_scratch: Vec::new(),
             mem: Memory::default(),
             l1d: Cache::new(cfg.l1d, meta_fill),
             l1i: Cache::new(cfg.l1i, true),
@@ -560,7 +565,10 @@ impl<'a> Core<'a> {
         max_cycles: u64,
     ) -> (SimResult, Cache) {
         let result = self.run_inner(max_insts, max_cycles);
-        let placeholder = Cache::new(self.cfg.l3, true);
+        // A storage-free husk: the core is dropped right after the swap,
+        // so allocating a full L3's worth of arrays for it would be
+        // pure waste (~0.5M lines for the 30 MiB preset).
+        let placeholder = Cache::placeholder(self.cfg.l3);
         let l3 = std::mem::replace(&mut self.l3, placeholder);
         (result, l3)
     }
@@ -638,9 +646,19 @@ impl<'a> Core<'a> {
         stats.iq_hwm = self.sched.iq_hwm();
         stats.wheel_hwm = self.sched.wheel_hwm();
         stats.policy = self.policy.stats();
-        let mut cache_obs = self.l1d.tag_observation();
+        // Adversary observation, straight into the result vector (one
+        // exact-capacity allocation; the per-set sort uses the arena's
+        // reusable scratch instead of allocating per call).
+        let mut cache_obs = Vec::with_capacity(
+            self.cfg.l1d.sets() * (self.cfg.l1d.ways + 1)
+                + 1
+                + self.cfg.l2.sets() * (self.cfg.l2.ways + 1),
+        );
+        self.l1d
+            .tag_observation_into(&mut cache_obs, &mut self.obs_scratch);
         cache_obs.push(u64::MAX); // level separator
-        cache_obs.extend(self.l2.tag_observation());
+        self.l2
+            .tag_observation_into(&mut cache_obs, &mut self.obs_scratch);
         let trace = self.tracer.take().map(|t| t.finish(self.cycle));
         SimResult {
             exit: self.halted.unwrap(),
@@ -741,6 +759,32 @@ impl<'a> Core<'a> {
         }
     }
 
+    /// Runs `f`, charging its wall time to component section `s` when
+    /// profiling is on (one branch when off — same pure-observer
+    /// discipline as the stage laps). The stage laps in
+    /// [`Core::tick_profiled`] subtract whatever the component sections
+    /// booked during them, so sections stay disjoint. Metadata work the
+    /// defense policies do through their `&Cache` hooks is *not* routed
+    /// through here and stays attributed to the parent stage.
+    #[inline]
+    fn with_comp<R>(&mut self, s: Section, f: impl FnOnce(&mut Self) -> R) -> R {
+        if !self.profile_on {
+            return f(self);
+        }
+        let t = std::time::Instant::now();
+        let r = f(self);
+        self.profile.add(s, t.elapsed());
+        r
+    }
+
+    /// Total nanoseconds booked to the component sections so far (the
+    /// delta subtracted from the enclosing stage's lap).
+    fn comp_nanos(&self) -> u64 {
+        self.profile.nanos_of(Section::CacheAccess)
+            + self.profile.nanos_of(Section::CacheMeta)
+            + self.profile.nanos_of(Section::Bpred)
+    }
+
     /// One cycle.
     fn tick(&mut self) {
         self.sched.clear_progress();
@@ -767,20 +811,34 @@ impl<'a> Core<'a> {
         t = self.profile.lap(t, Section::Wakeup);
         self.capture_store_data();
         t = self.profile.lap(t, Section::StoreData);
+        // Each stage's lap subtracts the component-model time
+        // (cache_access/cache_meta/bpred) its calls booked, so stage and
+        // component sections partition the tick and shares stay
+        // meaningful.
+        let comp = self.comp_nanos();
         self.resolve_branches();
-        t = self.profile.lap(t, Section::Resolve);
+        let comp_delta = self.comp_nanos() - comp;
+        t = self.profile.lap_minus(t, Section::Resolve, comp_delta);
+        let comp = self.comp_nanos();
         self.commit();
-        t = self.profile.lap(t, Section::Commit);
-        // `issue` books its `execute_uop` spans to `Execute`; the issue
-        // lap subtracts them so the two sections are disjoint.
+        let comp_delta = self.comp_nanos() - comp;
+        t = self.profile.lap_minus(t, Section::Commit, comp_delta);
+        // `issue` books its `execute_uop` spans to `Execute` (itself net
+        // of component time); the issue lap subtracts both.
         let exec_before = self.profile.nanos_of(Section::Execute);
+        let comp = self.comp_nanos();
         self.issue();
         let exec_delta = self.profile.nanos_of(Section::Execute) - exec_before;
-        t = self.profile.lap_minus(t, Section::Issue, exec_delta);
+        let comp_delta = self.comp_nanos() - comp;
+        t = self
+            .profile
+            .lap_minus(t, Section::Issue, exec_delta + comp_delta);
         self.rename();
         t = self.profile.lap(t, Section::Rename);
+        let comp = self.comp_nanos();
         self.fetch();
-        self.profile.lap(t, Section::Fetch);
+        let comp_delta = self.comp_nanos() - comp;
+        self.profile.lap_minus(t, Section::Fetch, comp_delta);
         self.cycle += 1;
         self.no_commit_cycles += 1;
     }
@@ -1153,16 +1211,18 @@ impl<'a> Core<'a> {
         self.squash_younger_than(seq, SquashKind::Branch);
         // Restore the front end to the branch's pre-fetch state, then
         // re-apply its *actual* effect.
-        self.tage.restore_history(hist);
-        self.rsb.restore(&rsb_snap);
-        match inst.op {
-            Op::Jcc { .. } => self.tage.speculate(self.program.pc_of(idx), actual_taken),
-            Op::Call { .. } => self.rsb.push(self.program.pc_of(idx + 1)),
-            Op::Ret => {
-                let _ = self.rsb.pop();
+        self.with_comp(Section::Bpred, |c| {
+            c.tage.restore_history(hist);
+            c.rsb.restore(&rsb_snap);
+            match inst.op {
+                Op::Jcc { .. } => c.tage.speculate(c.program.pc_of(idx), actual_taken),
+                Op::Call { .. } => c.rsb.push(c.program.pc_of(idx + 1)),
+                Op::Ret => {
+                    let _ = c.rsb.pop();
+                }
+                _ => {}
             }
-            _ => {}
-        }
+        });
         self.fetch_idx = actual_next;
         self.fetch_queue.clear();
         self.l1i_paid = None;
@@ -1224,8 +1284,10 @@ impl<'a> Core<'a> {
             });
         self.squash_younger_than(surviving, kind);
         if let Some((h, r)) = snap {
-            self.tage.restore_history(h);
-            self.rsb.restore(&r);
+            self.with_comp(Section::Bpred, |c| {
+                c.tage.restore_history(h);
+                c.rsb.restore(&r);
+            });
         }
         self.fetch_idx = refetch;
         self.fetch_queue.clear();
@@ -1298,10 +1360,14 @@ impl<'a> Core<'a> {
             }
             // Predictor training at commit (clean, non-transient state).
             match u.inst.op {
-                Op::Jcc { .. } => self.tage.update(u.pc, u.pred_taken, u.actual_taken),
+                Op::Jcc { .. } => {
+                    let (pc, pred, taken) = (u.pc, u.pred_taken, u.actual_taken);
+                    self.with_comp(Section::Bpred, |c| c.tage.update(pc, pred, taken));
+                }
                 Op::JmpReg { .. } | Op::Ret => {
                     if let Some(Some(t)) = u.actual_next {
-                        self.btb.update(u.pc, self.program.pc_of(t));
+                        let (pc, target) = (u.pc, self.program.pc_of(t));
+                        self.with_comp(Section::Bpred, |c| c.btb.update(pc, target));
                     }
                 }
                 _ => {}
@@ -1313,13 +1379,19 @@ impl<'a> Core<'a> {
                     self.mem.write(addr, m.size, m.value);
                     self.mem_access_for_timing(addr);
                     if self.policy.uses_protisa() {
-                        self.update_mem_prot_on_store(addr, m.size, m.data_prot);
+                        let (size, prot) = (m.size, m.data_prot);
+                        self.with_comp(Section::CacheMeta, |c| {
+                            c.update_mem_prot_on_store(addr, size, prot)
+                        });
                     }
                 } else if self.policy.uses_protisa() && !u.prot_out {
                     // Loads with unprotected outputs clear the protection
                     // of the accessed bytes at commit (§IV-C2b).
                     let addr = m.addr.expect("committed load has address");
-                    self.update_mem_prot_on_load_commit(addr, m.size);
+                    let size = m.size;
+                    self.with_comp(Section::CacheMeta, |c| {
+                        c.update_mem_prot_on_load_commit(addr, size)
+                    });
                 }
             }
             // Architectural register state. Committed values are always
@@ -1407,7 +1479,14 @@ impl<'a> Core<'a> {
     }
 
     /// Walks the cache hierarchy for timing; returns the access latency.
+    /// Booked to [`Section::CacheAccess`] when profiling.
     fn mem_access_for_timing(&mut self, addr: u64) -> u32 {
+        self.with_comp(Section::CacheAccess, |c| c.cache_walk(addr))
+    }
+
+    /// The untimed L1D→L2→L3→DRAM walk behind
+    /// [`Core::mem_access_for_timing`].
+    fn cache_walk(&mut self, addr: u64) -> u32 {
         let l1 = self.l1d.access(addr);
         if l1.hit {
             return self.cfg.l1d.latency;
@@ -1494,8 +1573,11 @@ impl<'a> Core<'a> {
                 self.execute_uop(i, &mut pending_violation)
             } else {
                 let t = std::time::Instant::now();
+                let comp = self.comp_nanos();
                 let ok = self.execute_uop(i, &mut pending_violation);
-                self.profile.add(Section::Execute, t.elapsed());
+                let comp_delta = self.comp_nanos() - comp;
+                self.profile
+                    .add_minus(Section::Execute, t.elapsed(), comp_delta);
                 ok
             };
             if executed {
@@ -1741,7 +1823,7 @@ impl<'a> Core<'a> {
             None => {
                 let latency = 1 + self.mem_access_for_timing(addr);
                 let v = self.mem.read(addr, size);
-                let prot = self.mem_prot_of(addr, size);
+                let prot = self.with_comp(Section::CacheMeta, |c| c.mem_prot_of(addr, size));
                 (v, latency, prot, None)
             }
         };
@@ -2106,11 +2188,14 @@ impl<'a> Core<'a> {
             // hit and bumping the LRU clock a second time.
             if self.l1i_paid == Some(idx) {
                 self.l1i_paid = None;
-            } else if !self.l1i.access(pc).hit {
-                self.l1i_paid = Some(idx);
-                self.fetch_stalled_until = self.cycle + self.cfg.l2.latency as u64;
-                self.sched.mark_progress();
-                break;
+            } else {
+                let hit = self.with_comp(Section::CacheAccess, |c| c.l1i.access(pc).hit);
+                if !hit {
+                    self.l1i_paid = Some(idx);
+                    self.fetch_stalled_until = self.cycle + self.cfg.l2.latency as u64;
+                    self.sched.mark_progress();
+                    break;
+                }
             }
             let hist_snapshot = self.tage.history();
             let rsb_snapshot = self.rsb.snapshot_shared();
@@ -2122,8 +2207,11 @@ impl<'a> Core<'a> {
                     Some(target)
                 }
                 CtrlFlow::Jcc { target } => {
-                    pred_taken = self.tage.predict(pc);
-                    self.tage.speculate(pc, pred_taken);
+                    pred_taken = self.with_comp(Section::Bpred, |c| {
+                        let p = c.tage.predict(pc);
+                        c.tage.speculate(pc, p);
+                        p
+                    });
                     Some(if pred_taken { target } else { idx + 1 })
                 }
                 CtrlFlow::Ret => match self.rsb.pop() {

@@ -41,9 +41,18 @@ pub enum Section {
     Fetch = 7,
     /// Idle-cycle fast-forward (bulk blocked-cycle attribution).
     FastForward = 8,
+    /// Cache tag probes and fills (`Cache::access` walks for timing),
+    /// carved out of the stages that perform them (issue/commit/fetch).
+    CacheAccess = 9,
+    /// L1D metadata word ops (`meta_any`/`meta_all`/`meta_set`), carved
+    /// out of the issue/commit stages.
+    CacheMeta = 10,
+    /// Branch-predictor work (TAGE predict/update/speculate/restore,
+    /// BTB, RSB), carved out of the fetch/resolve/commit stages.
+    Bpred = 11,
 }
 
-const N_SECTIONS: usize = 9;
+const N_SECTIONS: usize = 12;
 
 const NAMES: [&str; N_SECTIONS] = [
     "wakeup",
@@ -55,6 +64,9 @@ const NAMES: [&str; N_SECTIONS] = [
     "rename",
     "fetch",
     "fast_forward",
+    "cache_access",
+    "cache_meta",
+    "bpred",
 ];
 
 /// Whether profiling is enabled (`PROTEAN_PROFILE`, read once).
@@ -94,6 +106,17 @@ impl SectionTimes {
     /// Charges an already-measured duration to `s`.
     pub fn add(&mut self, s: Section, d: Duration) {
         self.nanos[s as usize] += d.as_nanos() as u64;
+        self.calls[s as usize] += 1;
+    }
+
+    /// As [`SectionTimes::add`], minus `sub_nanos` already charged
+    /// elsewhere — the stage-level counterpart of
+    /// [`SectionTimes::lap_minus`] for spans measured with an explicit
+    /// duration (e.g. `Execute` deducting the component-model time its
+    /// cache walks booked to [`Section::CacheAccess`]). Keeps sections
+    /// disjoint so share-of-total stays meaningful.
+    pub fn add_minus(&mut self, s: Section, d: Duration, sub_nanos: u64) {
+        self.nanos[s as usize] += (d.as_nanos() as u64).saturating_sub(sub_nanos);
         self.calls[s as usize] += 1;
     }
 
